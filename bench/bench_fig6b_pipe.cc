@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Figure 6b: pipe throughput between two processes under varied
+ * buffer sizes (16 B .. 4 KiB).
+ *
+ * Paper shape: Occlum is on par with Linux (shared-address-space
+ * copies, function-call syscalls) and both are >3x Graphene-like EIP,
+ * which pays AES both ways through untrusted memory plus two world
+ * switches per operation.
+ */
+#include "bench/bench_util.h"
+
+using namespace occlum;
+
+namespace {
+
+/** Driver program: pipe two children together, report via reader. */
+std::string
+driver_source()
+{
+    return R"(
+global byte w[8] = "writer";
+global byte r[8] = "reader";
+global byte chunkbuf[24];
+global byte totalbuf[24];
+func main() {
+    getarg(1, chunkbuf, 24);
+    getarg(2, totalbuf, 24);
+    var fds[2];
+    pipe(fds);
+    var argvw[3];
+    argvw[0] = w;
+    argvw[1] = chunkbuf;
+    argvw[2] = totalbuf;
+    var iow[3];
+    iow[0] = 0 - 1;
+    iow[1] = fds[1];
+    iow[2] = 0 - 1;
+    var wpid = spawn_io(w, argvw, 3, iow);
+    var argvr[2];
+    argvr[0] = r;
+    argvr[1] = chunkbuf;
+    var ior[3];
+    ior[0] = fds[0];
+    ior[1] = 0 - 1;
+    ior[2] = 0 - 1;
+    var rpid = spawn_io(r, argvr, 2, ior);
+    close(fds[0]);
+    close(fds[1]);
+    waitpid(wpid);
+    return waitpid(rpid);
+}
+)";
+}
+
+double
+run_one(oskit::Kernel &sys, uint64_t chunk, uint64_t total)
+{
+    sys.clear_console();
+    auto pid = sys.spawn("pipedrv", {"pipedrv", std::to_string(chunk),
+                                     std::to_string(total)});
+    OCC_CHECK_MSG(pid.ok(), pid.error().message);
+    sys.run();
+    auto result = bench::parse_result(sys.console());
+    OCC_CHECK_MSG(result.has_value(), "no RESULT line");
+    return bench::result_mbps(*result);
+}
+
+} // namespace
+
+int
+main()
+{
+    workloads::ProgramBuild driver =
+        workloads::build_program(driver_source());
+    workloads::ProgramBuild writer =
+        workloads::build_program(workloads::pipe_writer_source());
+    workloads::ProgramBuild reader =
+        workloads::build_program(workloads::pipe_reader_source());
+
+    Table table("Fig 6b: pipe throughput vs buffer size");
+    table.set_header({"buffer", "Linux", "Graphene-like (EIP)", "Occlum",
+                      "Occlum/EIP"});
+
+    for (uint64_t chunk : {16u, 64u, 256u, 1024u, 4096u}) {
+        uint64_t total = std::max<uint64_t>(1 << 20, chunk * 4096);
+
+        SimClock linux_clock;
+        host::HostFileStore linux_files;
+        linux_files.put("pipedrv", driver.plain);
+        linux_files.put("writer", writer.plain);
+        linux_files.put("reader", reader.plain);
+        baseline::LinuxSystem linux_sys(linux_clock, linux_files);
+        double linux_mbps = run_one(linux_sys, chunk, total);
+
+        sgx::Platform eip_platform;
+        host::HostFileStore eip_files;
+        eip_files.put("pipedrv", driver.plain);
+        eip_files.put("writer", writer.plain);
+        eip_files.put("reader", reader.plain);
+        baseline::EipSystem eip_sys(eip_platform, eip_files, {});
+        double eip_mbps = run_one(eip_sys, chunk, total);
+
+        sgx::Platform occ_platform;
+        host::HostFileStore occ_files;
+        occ_files.put("pipedrv", driver.occlum);
+        occ_files.put("writer", writer.occlum);
+        occ_files.put("reader", reader.occlum);
+        libos::OcclumSystem occ_sys(occ_platform, occ_files,
+                                    bench::occlum_config());
+        double occ_mbps = run_one(occ_sys, chunk, total);
+
+        table.add_row({format("%lluB", (unsigned long long)chunk),
+                       format_mbps(linux_mbps), format_mbps(eip_mbps),
+                       format_mbps(occ_mbps),
+                       format("%.1fx", occ_mbps / eip_mbps)});
+    }
+    table.print();
+    std::printf("\nPaper shape: Occlum ~ Linux, both >3x Graphene.\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Substrate microbenchmarks (google-benchmark): wall-clock
+ * performance of the building blocks the simulation itself runs on —
+ * SHA-256 (enclave measurement), AES-CTR (encrypted FS), the OVM
+ * interpreter, the MiniC compiler, and the verifier. These measure
+ * the *simulator*, not the simulated system; the figure benches
+ * report simulated time.
+ */
+#include <benchmark/benchmark.h>
+
+#include "baseline/linux_system.h"
+#include "crypto/aes.h"
+#include "crypto/sha256.h"
+#include "isa/assembler.h"
+#include "toolchain/minic.h"
+#include "verifier/verifier.h"
+#include "vm/cpu.h"
+
+using namespace occlum;
+
+namespace {
+
+void
+BM_Sha256(benchmark::State &state)
+{
+    Bytes data(static_cast<size_t>(state.range(0)), 0xa5);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(4096)->Arg(65536);
+
+void
+BM_AesCtr(benchmark::State &state)
+{
+    crypto::Key128 key{};
+    key[0] = 1;
+    crypto::Aes128 aes(key);
+    Bytes data(static_cast<size_t>(state.range(0)), 0x5a);
+    std::array<uint8_t, 12> iv{};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(aes.ctr_crypt(iv, 0, data));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(4096);
+
+void
+BM_VmInterpreter(benchmark::State &state)
+{
+    vm::AddressSpace space;
+    OCC_CHECK(space.map(0x1000, 0x1000, vm::kPermRX).ok());
+    OCC_CHECK(space.map(0x10000, 0x1000, vm::kPermRW).ok());
+    isa::Assembler a(0x1000);
+    a.mov_ri(1, 0);
+    a.mov_ri(2, 1000);
+    a.bind("loop");
+    a.add_ri(1, 3);
+    a.xor_rr(3, 1);
+    a.sub_ri(2, 1);
+    a.cmp_ri(2, 0);
+    a.jcc(isa::Cond::kNe, "loop");
+    a.ltrap();
+    Bytes code = a.finish();
+    OCC_CHECK(space.write_raw(0x1000, code.data(), code.size()) ==
+              vm::AccessFault::kNone);
+    for (auto _ : state) {
+        vm::Cpu cpu(space);
+        cpu.set_rip(0x1000);
+        cpu.set_sp(0x11000 - 16);
+        benchmark::DoNotOptimize(cpu.run(100000));
+        state.counters["instr/s"] = benchmark::Counter(
+            static_cast<double>(cpu.instructions()),
+            benchmark::Counter::kIsIterationInvariantRate);
+    }
+}
+BENCHMARK(BM_VmInterpreter);
+
+void
+BM_CompileMiniC(benchmark::State &state)
+{
+    const char *src =
+        "global int a[64];\n"
+        "func main() { for (i = 0; i < 64; i = i + 1) { a[i] = i * i; }"
+        " return a[63]; }";
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(toolchain::compile(src));
+    }
+}
+BENCHMARK(BM_CompileMiniC);
+
+void
+BM_VerifyBinary(benchmark::State &state)
+{
+    auto out = toolchain::compile(
+        "global int a[256];\n"
+        "func main() { for (i = 0; i < 256; i = i + 1) { a[i] = i; }"
+        " return 0; }");
+    OCC_CHECK(out.ok());
+    crypto::Key128 key{};
+    verifier::Verifier verifier(key);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(verifier.verify(out.value().image));
+    }
+    state.counters["instrs"] = static_cast<double>(
+        verifier.verify(out.value().image).reachable_instructions);
+}
+BENCHMARK(BM_VerifyBinary);
+
+} // namespace
+
+BENCHMARK_MAIN();

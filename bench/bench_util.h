@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmarks: system
+ * construction for the three OS personalities, console RESULT-line
+ * parsing, and run loops that interleave simulated network clients
+ * with the kernel scheduler.
+ */
+#ifndef OCCLUM_BENCH_BENCH_UTIL_H
+#define OCCLUM_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "base/stats.h"
+#include "baseline/eip_system.h"
+#include "baseline/linux_system.h"
+#include "libos/occlum_system.h"
+#include "workloads/workloads.h"
+
+namespace occlum::bench {
+
+/** Default Occlum configuration matching the workloads' link layout. */
+inline libos::OcclumSystem::Config
+occlum_config(int slots = 8, uint64_t slot_code = 1 << 20,
+              uint64_t slot_data = 8 << 20)
+{
+    libos::OcclumSystem::Config config;
+    config.num_slots = slots;
+    config.slot_code_size = slot_code;
+    config.slot_data_size = slot_data;
+    config.verifier_key = workloads::bench_verifier_key();
+    return config;
+}
+
+/** Parse the last "RESULT <bytes> <ns>" line from a console dump. */
+inline std::optional<std::pair<uint64_t, uint64_t>>
+parse_result(const std::string &console)
+{
+    std::optional<std::pair<uint64_t, uint64_t>> out;
+    std::istringstream stream(console);
+    std::string line;
+    while (std::getline(stream, line)) {
+        if (line.rfind("RESULT ", 0) == 0) {
+            std::istringstream fields(line.substr(7));
+            uint64_t bytes = 0, ns = 0;
+            if (fields >> bytes >> ns) {
+                out = {bytes, ns};
+            }
+        }
+    }
+    return out;
+}
+
+/** MB/s from a RESULT pair (guarding zero durations). */
+inline double
+result_mbps(const std::pair<uint64_t, uint64_t> &result)
+{
+    if (result.second == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(result.first) /
+           (static_cast<double>(result.second) / 1e9) / 1e6;
+}
+
+/** Spawn + run to completion; returns simulated seconds elapsed. */
+inline double
+timed_run(oskit::Kernel &sys, const std::string &prog,
+          const std::vector<std::string> &argv)
+{
+    uint64_t before = sys.clock().cycles();
+    auto pid = sys.spawn(prog, argv);
+    OCC_CHECK_MSG(pid.ok(), "spawn failed: " + pid.error().message);
+    sys.run();
+    auto code = sys.exit_code(pid.value());
+    OCC_CHECK_MSG(code.ok() && code.value() >= 0,
+                  "benchmark program failed: " + prog);
+    return SimClock::cycles_to_seconds(sys.clock().cycles() - before);
+}
+
+} // namespace occlum::bench
+
+#endif // OCCLUM_BENCH_BENCH_UTIL_H

@@ -1,0 +1,54 @@
+#include "base/bytes.h"
+
+#include "base/log.h"
+
+namespace occlum {
+
+namespace {
+
+int
+hex_digit(char c)
+{
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+std::string
+to_hex(const uint8_t *data, size_t len)
+{
+    static const char kDigits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(len * 2);
+    for (size_t i = 0; i < len; ++i) {
+        out.push_back(kDigits[data[i] >> 4]);
+        out.push_back(kDigits[data[i] & 0xf]);
+    }
+    return out;
+}
+
+std::string
+to_hex(const Bytes &data)
+{
+    return to_hex(data.data(), data.size());
+}
+
+Bytes
+from_hex(const std::string &hex)
+{
+    OCC_CHECK_MSG(hex.size() % 2 == 0, "odd hex string length");
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        int hi = hex_digit(hex[i]);
+        int lo = hex_digit(hex[i + 1]);
+        OCC_CHECK_MSG(hi >= 0 && lo >= 0, "invalid hex digit");
+        out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+} // namespace occlum

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Byte-buffer helpers: little-endian packing, hex formatting.
+ *
+ * All on-disk / in-memory binary formats in this project (OELF, the
+ * OVM instruction encoding, encrypted-FS blocks) are little-endian.
+ */
+#ifndef OCCLUM_BASE_BYTES_H
+#define OCCLUM_BASE_BYTES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace occlum {
+
+using Bytes = std::vector<uint8_t>;
+
+/** Append an integer to a byte buffer in little-endian order. */
+template <typename T>
+inline void
+put_le(Bytes &out, T value)
+{
+    for (size_t i = 0; i < sizeof(T); ++i) {
+        out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+    }
+}
+
+/** Read a little-endian integer from raw bytes (no bounds check). */
+template <typename T>
+inline T
+get_le(const uint8_t *p)
+{
+    T value = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+        value |= static_cast<T>(p[i]) << (8 * i);
+    }
+    return value;
+}
+
+/** Write a little-endian integer into raw bytes (no bounds check). */
+template <typename T>
+inline void
+set_le(uint8_t *p, T value)
+{
+    for (size_t i = 0; i < sizeof(T); ++i) {
+        p[i] = static_cast<uint8_t>(value >> (8 * i));
+    }
+}
+
+/** Format bytes as lowercase hex, e.g. "deadbeef". */
+std::string to_hex(const uint8_t *data, size_t len);
+std::string to_hex(const Bytes &data);
+
+/** Parse lowercase/uppercase hex into bytes; panics on odd/invalid input. */
+Bytes from_hex(const std::string &hex);
+
+} // namespace occlum
+
+#endif // OCCLUM_BASE_BYTES_H

@@ -1,0 +1,57 @@
+#include "base/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace occlum {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char *
+level_name(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kNone: return "NONE";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+void
+set_log_level(LogLevel level)
+{
+    g_level = level;
+}
+
+namespace detail {
+
+void
+log_line(LogLevel level, const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s:%d: %s\n", level_name(level), file, line,
+                 msg.c_str());
+}
+
+void
+panic_impl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[PANIC] %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace occlum

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Logging, assertion, and fatal-error facilities.
+ *
+ * Follows the gem5 convention: panic() for "this is a bug in the
+ * simulator itself", fatal() for "the user asked for something
+ * impossible". OCC_CHECK is an always-on assertion used to guard
+ * invariants in the substrate.
+ */
+#ifndef OCCLUM_BASE_LOG_H
+#define OCCLUM_BASE_LOG_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace occlum {
+
+/** Severity levels for the global logger. */
+enum class LogLevel : int {
+    kDebug = 0,
+    kInfo = 1,
+    kWarn = 2,
+    kError = 3,
+    kNone = 4,
+};
+
+/** Global log-level filter; messages below this level are dropped. */
+LogLevel log_level();
+
+/** Set the global log-level filter (e.g. from tests or benches). */
+void set_log_level(LogLevel level);
+
+namespace detail {
+
+/** Emit one formatted log line to stderr. */
+void log_line(LogLevel level, const char *file, int line,
+              const std::string &msg);
+
+/** Print a fatal message and abort the process. */
+[[noreturn]] void panic_impl(const char *file, int line,
+                             const std::string &msg);
+
+} // namespace detail
+
+} // namespace occlum
+
+#define OCC_LOG(level, msg_expr)                                          \
+    do {                                                                  \
+        if (static_cast<int>(level) >=                                    \
+            static_cast<int>(::occlum::log_level())) {                    \
+            std::ostringstream occ_log_ss_;                               \
+            occ_log_ss_ << msg_expr;                                      \
+            ::occlum::detail::log_line(level, __FILE__, __LINE__,         \
+                                       occ_log_ss_.str());                \
+        }                                                                 \
+    } while (0)
+
+#define OCC_DEBUG(msg) OCC_LOG(::occlum::LogLevel::kDebug, msg)
+#define OCC_INFO(msg) OCC_LOG(::occlum::LogLevel::kInfo, msg)
+#define OCC_WARN(msg) OCC_LOG(::occlum::LogLevel::kWarn, msg)
+#define OCC_ERROR(msg) OCC_LOG(::occlum::LogLevel::kError, msg)
+
+/** Unrecoverable internal error: prints and aborts. */
+#define OCC_PANIC(msg_expr)                                               \
+    do {                                                                  \
+        std::ostringstream occ_panic_ss_;                                 \
+        occ_panic_ss_ << msg_expr;                                        \
+        ::occlum::detail::panic_impl(__FILE__, __LINE__,                  \
+                                     occ_panic_ss_.str());                \
+    } while (0)
+
+/** Always-on invariant check; aborts with a message on failure. */
+#define OCC_CHECK(cond)                                                   \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            OCC_PANIC("check failed: " #cond);                            \
+        }                                                                 \
+    } while (0)
+
+#define OCC_CHECK_MSG(cond, msg_expr)                                     \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            OCC_PANIC("check failed: " #cond << ": " << msg_expr);        \
+        }                                                                 \
+    } while (0)
+
+#endif // OCCLUM_BASE_LOG_H

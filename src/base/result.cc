@@ -1,0 +1,41 @@
+#include "base/result.h"
+
+namespace occlum {
+
+const char *
+error_name(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::kOk: return "OK";
+      case ErrorCode::kPerm: return "EPERM";
+      case ErrorCode::kNoEnt: return "ENOENT";
+      case ErrorCode::kSrch: return "ESRCH";
+      case ErrorCode::kIntr: return "EINTR";
+      case ErrorCode::kIo: return "EIO";
+      case ErrorCode::kBadF: return "EBADF";
+      case ErrorCode::kChild: return "ECHILD";
+      case ErrorCode::kAgain: return "EAGAIN";
+      case ErrorCode::kNoMem: return "ENOMEM";
+      case ErrorCode::kAccess: return "EACCES";
+      case ErrorCode::kFault: return "EFAULT";
+      case ErrorCode::kBusy: return "EBUSY";
+      case ErrorCode::kExist: return "EEXIST";
+      case ErrorCode::kNotDir: return "ENOTDIR";
+      case ErrorCode::kIsDir: return "EISDIR";
+      case ErrorCode::kInval: return "EINVAL";
+      case ErrorCode::kMFile: return "EMFILE";
+      case ErrorCode::kNoSpc: return "ENOSPC";
+      case ErrorCode::kSPipe: return "ESPIPE";
+      case ErrorCode::kRoFs: return "EROFS";
+      case ErrorCode::kPipe: return "EPIPE";
+      case ErrorCode::kNameTooLong: return "ENAMETOOLONG";
+      case ErrorCode::kNoSys: return "ENOSYS";
+      case ErrorCode::kNotEmpty: return "ENOTEMPTY";
+      case ErrorCode::kNoExec: return "ENOEXEC";
+      case ErrorCode::kTimedOut: return "ETIMEDOUT";
+      case ErrorCode::kWouldBlock: return "EWOULDBLOCK";
+    }
+    return "E?";
+}
+
+} // namespace occlum

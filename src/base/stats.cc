@@ -1,0 +1,39 @@
+#include "base/stats.h"
+
+#include <cstdarg>
+
+namespace occlum {
+
+std::string
+format(const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return std::string(buf);
+}
+
+std::string
+format_time_us(double us)
+{
+    if (us < 1000.0) {
+        return format("%.1fus", us);
+    }
+    if (us < 1e6) {
+        return format("%.2fms", us / 1e3);
+    }
+    return format("%.3fs", us / 1e6);
+}
+
+std::string
+format_mbps(double mbps)
+{
+    if (mbps >= 1000.0) {
+        return format("%.2fGB/s", mbps / 1000.0);
+    }
+    return format("%.1fMB/s", mbps);
+}
+
+} // namespace occlum

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Small statistics helpers used by the benchmark harnesses: running
+ * aggregates and a fixed-width table printer that mimics the rows the
+ * paper's figures report.
+ */
+#ifndef OCCLUM_BASE_STATS_H
+#define OCCLUM_BASE_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace occlum {
+
+/** Running aggregate: count / mean / min / max. */
+class Aggregate
+{
+  public:
+    void
+    add(double sample)
+    {
+        if (count_ == 0) {
+            min_ = max_ = sample;
+        } else {
+            min_ = std::min(min_, sample);
+            max_ = std::max(max_, sample);
+        }
+        sum_ += sample;
+        ++count_;
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Fixed-width console table, one per reproduced figure. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    void
+    set_header(std::vector<std::string> cols)
+    {
+        header_ = std::move(cols);
+    }
+
+    void
+    add_row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Render to stdout with auto-sized columns. */
+    void
+    print() const
+    {
+        std::vector<size_t> widths(header_.size(), 0);
+        for (size_t c = 0; c < header_.size(); ++c) {
+            widths[c] = header_[c].size();
+        }
+        for (const auto &row : rows_) {
+            for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+                widths[c] = std::max(widths[c], row[c].size());
+            }
+        }
+        std::printf("\n== %s ==\n", title_.c_str());
+        auto print_row = [&](const std::vector<std::string> &row) {
+            for (size_t c = 0; c < row.size(); ++c) {
+                std::printf("%-*s  ", static_cast<int>(widths[c]),
+                            row[c].c_str());
+            }
+            std::printf("\n");
+        };
+        print_row(header_);
+        for (const auto &row : rows_) {
+            print_row(row);
+        }
+    }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style formatting into a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Human-friendly time string from microseconds (us / ms / s). */
+std::string format_time_us(double us);
+
+/** Human-friendly throughput string from MB/s. */
+std::string format_mbps(double mbps);
+
+} // namespace occlum
+
+#endif // OCCLUM_BASE_STATS_H

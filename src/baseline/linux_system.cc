@@ -1,0 +1,171 @@
+#include "baseline/linux_system.h"
+
+#include "oelf/abi.h"
+#include "oskit/loader.h"
+
+namespace occlum::baseline {
+
+using oskit::IoResult;
+
+// ---------------------------------------------------------------------
+// ExtFile
+// ---------------------------------------------------------------------
+
+ExtFile::ExtFile(host::HostFileStore *store, std::string path,
+                 uint64_t flags)
+    : store_(store), path_(std::move(path)), flags_(flags)
+{
+    Bytes *content = store_->get_mutable(path_);
+    if (flags_ & abi::kOpenTrunc) {
+        content->clear();
+    }
+    if (flags_ & abi::kOpenAppend) {
+        offset_ = content->size();
+    }
+}
+
+IoResult
+ExtFile::read(oskit::Kernel &kernel, uint8_t *buf, uint64_t len)
+{
+    const Bytes *content = store_->get_mutable(path_);
+    if (offset_ >= content->size()) {
+        return IoResult::ok(0);
+    }
+    uint64_t n = std::min<uint64_t>(len, content->size() - offset_);
+    std::copy(content->begin() + offset_, content->begin() + offset_ + n,
+              buf);
+    offset_ += n;
+    kernel.charge(static_cast<uint64_t>(
+        n * (CostModel::kDiskReadCyclesPerByte +
+             CostModel::kMemcpyCyclesPerByte)));
+    return IoResult::ok(static_cast<int64_t>(n));
+}
+
+IoResult
+ExtFile::write(oskit::Kernel &kernel, const uint8_t *buf, uint64_t len)
+{
+    if ((flags_ & (abi::kOpenWrite | abi::kOpenRdWr)) == 0) {
+        return IoResult::err(ErrorCode::kBadF);
+    }
+    Bytes *content = store_->get_mutable(path_);
+    if (offset_ + len > content->size()) {
+        content->resize(offset_ + len);
+    }
+    std::copy(buf, buf + len, content->begin() + offset_);
+    offset_ += len;
+    kernel.charge(static_cast<uint64_t>(
+        len * (CostModel::kDiskWriteCyclesPerByte +
+               CostModel::kMemcpyCyclesPerByte)));
+    return IoResult::ok(static_cast<int64_t>(len));
+}
+
+Result<int64_t>
+ExtFile::seek(int64_t offset, int whence)
+{
+    const Bytes *content = store_->get_mutable(path_);
+    int64_t base = 0;
+    switch (whence) {
+      case static_cast<int>(abi::kSeekSet): base = 0; break;
+      case static_cast<int>(abi::kSeekCur):
+        base = static_cast<int64_t>(offset_);
+        break;
+      case static_cast<int>(abi::kSeekEnd):
+        base = static_cast<int64_t>(content->size());
+        break;
+      default:
+        return Error(ErrorCode::kInval, "bad whence");
+    }
+    int64_t pos = base + offset;
+    if (pos < 0) {
+        return Error(ErrorCode::kInval, "negative seek");
+    }
+    offset_ = static_cast<uint64_t>(pos);
+    return pos;
+}
+
+int64_t
+ExtFile::size() const
+{
+    return static_cast<int64_t>(store_->get_mutable(path_)->size());
+}
+
+// ---------------------------------------------------------------------
+// LinuxSystem
+// ---------------------------------------------------------------------
+
+Result<std::unique_ptr<oskit::Process>>
+LinuxSystem::create_process(const std::string &path,
+                            const std::vector<std::string> &argv)
+{
+    auto raw = binaries().get(path);
+    if (!raw.ok()) {
+        return raw.error();
+    }
+    auto image = oelf::Image::parse(*raw.value());
+    if (!image.ok()) {
+        return image.error();
+    }
+
+    auto proc = std::make_unique<oskit::Process>();
+    proc->owned_space = std::make_unique<vm::AddressSpace>();
+    proc->space = proc->owned_space.get();
+    proc->owned_cpu = std::make_unique<vm::Cpu>(*proc->space);
+    proc->cpu = proc->owned_cpu.get();
+
+    oskit::LoadOptions options;
+    options.domain_id = 1; // single domain per process
+    options.rewrite_cfi = true;
+    options.map_pages = true;
+    uint64_t base = next_base_;
+    // Each process has its own address space; the base only needs to
+    // be clear of low guard pages.
+    auto domain = oskit::load_image(*proc->space, image.value(), base,
+                                    argv, options);
+    if (!domain.ok()) {
+        return domain.error();
+    }
+    oskit::init_cpu(*proc->cpu, domain.value());
+    proc->domain_base = domain.value().base;
+    proc->d_begin = domain.value().d_begin;
+    proc->d_end = domain.value().d_end;
+    proc->mmap_cursor = domain.value().mmap_begin;
+    proc->mmap_end = domain.value().mmap_end;
+
+    // Native spawn cost: flat, binary-size independent (Fig. 6a).
+    charge(CostModel::kLinuxSpawnCycles);
+    return proc;
+}
+
+Result<oskit::FilePtr>
+LinuxSystem::fs_open(oskit::Process &proc, const std::string &path,
+                     uint64_t flags)
+{
+    (void)proc;
+    if (!binaries().exists(path)) {
+        if (!(flags & abi::kOpenCreate)) {
+            return Error(ErrorCode::kNoEnt, "no such file: " + path);
+        }
+        binaries().put(path, {});
+    }
+    return oskit::FilePtr(
+        std::make_shared<ExtFile>(&binaries(), path, flags));
+}
+
+Status
+LinuxSystem::fs_unlink(const std::string &path)
+{
+    if (!binaries().exists(path)) {
+        return Status(ErrorCode::kNoEnt, "no such file");
+    }
+    binaries().remove(path);
+    return Status();
+}
+
+Status
+LinuxSystem::fs_mkdir(const std::string &path)
+{
+    (void)path; // the flat host store has no real directories
+    return Status();
+}
+
+} // namespace occlum::baseline

@@ -1,0 +1,189 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+
+namespace occlum::crypto {
+
+namespace {
+
+/** GF(2^8) multiply by x (i.e. {02}) modulo x^8+x^4+x^3+x+1. */
+inline uint8_t
+xtime(uint8_t a)
+{
+    return static_cast<uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0x00));
+}
+
+/** Full GF(2^8) multiplication. */
+uint8_t
+gmul(uint8_t a, uint8_t b)
+{
+    uint8_t p = 0;
+    while (b) {
+        if (b & 1) {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    return p;
+}
+
+/** The AES S-box, computed once from first principles. */
+struct SboxTables {
+    uint8_t sbox[256];
+
+    SboxTables()
+    {
+        // Multiplicative inverses via exhaustive search (256^2 ops,
+        // done once at startup).
+        uint8_t inv[256] = {0};
+        for (int a = 1; a < 256; ++a) {
+            for (int b = 1; b < 256; ++b) {
+                if (gmul(uint8_t(a), uint8_t(b)) == 1) {
+                    inv[a] = uint8_t(b);
+                    break;
+                }
+            }
+        }
+        for (int i = 0; i < 256; ++i) {
+            uint8_t x = inv[i];
+            // Affine transform: b ^ rot1(b) ^ rot2(b) ^ rot3(b) ^
+            // rot4(b) ^ 0x63, with rotN = left-rotate by N bits.
+            auto rotl8 = [](uint8_t v, int n) {
+                return static_cast<uint8_t>((v << n) | (v >> (8 - n)));
+            };
+            sbox[i] = static_cast<uint8_t>(x ^ rotl8(x, 1) ^ rotl8(x, 2) ^
+                                           rotl8(x, 3) ^ rotl8(x, 4) ^
+                                           0x63);
+        }
+    }
+};
+
+const SboxTables &
+tables()
+{
+    static const SboxTables t;
+    return t;
+}
+
+inline uint32_t
+sub_word(uint32_t w)
+{
+    const uint8_t *s = tables().sbox;
+    return (uint32_t(s[(w >> 24) & 0xff]) << 24) |
+           (uint32_t(s[(w >> 16) & 0xff]) << 16) |
+           (uint32_t(s[(w >> 8) & 0xff]) << 8) |
+           uint32_t(s[w & 0xff]);
+}
+
+inline uint32_t
+rot_word(uint32_t w)
+{
+    return (w << 8) | (w >> 24);
+}
+
+} // namespace
+
+Aes128::Aes128(const Key128 &key)
+{
+    // Key expansion (FIPS 197 §5.2), Nk=4, Nr=10.
+    for (int i = 0; i < 4; ++i) {
+        round_keys_[i] = (uint32_t(key[4 * i]) << 24) |
+                         (uint32_t(key[4 * i + 1]) << 16) |
+                         (uint32_t(key[4 * i + 2]) << 8) |
+                         uint32_t(key[4 * i + 3]);
+    }
+    uint32_t rcon = 0x01;
+    for (int i = 4; i < 44; ++i) {
+        uint32_t temp = round_keys_[i - 1];
+        if (i % 4 == 0) {
+            temp = sub_word(rot_word(temp)) ^ (rcon << 24);
+            rcon = xtime(static_cast<uint8_t>(rcon));
+        }
+        round_keys_[i] = round_keys_[i - 4] ^ temp;
+    }
+}
+
+void
+Aes128::encrypt_block(const uint8_t in[16], uint8_t out[16]) const
+{
+    const uint8_t *sbox = tables().sbox;
+    uint8_t state[16];
+    std::memcpy(state, in, 16);
+
+    auto add_round_key = [&](int round) {
+        for (int c = 0; c < 4; ++c) {
+            uint32_t rk = round_keys_[4 * round + c];
+            state[4 * c] ^= uint8_t(rk >> 24);
+            state[4 * c + 1] ^= uint8_t(rk >> 16);
+            state[4 * c + 2] ^= uint8_t(rk >> 8);
+            state[4 * c + 3] ^= uint8_t(rk);
+        }
+    };
+    auto sub_bytes = [&]() {
+        for (int i = 0; i < 16; ++i) {
+            state[i] = sbox[state[i]];
+        }
+    };
+    auto shift_rows = [&]() {
+        // State is column-major: state[4*c + r].
+        uint8_t tmp[16];
+        for (int c = 0; c < 4; ++c) {
+            for (int r = 0; r < 4; ++r) {
+                tmp[4 * c + r] = state[4 * ((c + r) % 4) + r];
+            }
+        }
+        std::memcpy(state, tmp, 16);
+    };
+    auto mix_columns = [&]() {
+        for (int c = 0; c < 4; ++c) {
+            uint8_t *col = &state[4 * c];
+            uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+            col[0] = uint8_t(xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3);
+            col[1] = uint8_t(a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3);
+            col[2] = uint8_t(a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3));
+            col[3] = uint8_t((xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3));
+        }
+    };
+
+    add_round_key(0);
+    for (int round = 1; round < 10; ++round) {
+        sub_bytes();
+        shift_rows();
+        mix_columns();
+        add_round_key(round);
+    }
+    sub_bytes();
+    shift_rows();
+    add_round_key(10);
+
+    std::memcpy(out, state, 16);
+}
+
+void
+Aes128::ctr_crypt(const std::array<uint8_t, 12> &iv, uint32_t counter0,
+                  const uint8_t *in, uint8_t *out, size_t len) const
+{
+    uint8_t counter_block[16];
+    std::memcpy(counter_block, iv.data(), 12);
+    uint32_t counter = counter0;
+
+    size_t off = 0;
+    while (off < len) {
+        counter_block[12] = uint8_t(counter >> 24);
+        counter_block[13] = uint8_t(counter >> 16);
+        counter_block[14] = uint8_t(counter >> 8);
+        counter_block[15] = uint8_t(counter);
+        uint8_t keystream[16];
+        encrypt_block(counter_block, keystream);
+
+        size_t n = std::min<size_t>(16, len - off);
+        for (size_t i = 0; i < n; ++i) {
+            out[off + i] = in[off + i] ^ keystream[i];
+        }
+        off += n;
+        ++counter;
+    }
+}
+
+} // namespace occlum::crypto

@@ -1,0 +1,46 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace occlum::crypto {
+
+Sha256Digest
+hmac_sha256(const uint8_t *key, size_t key_len, const uint8_t *data,
+            size_t data_len)
+{
+    uint8_t key_block[64] = {0};
+    if (key_len > 64) {
+        Sha256Digest kd = Sha256::digest(key, key_len);
+        std::memcpy(key_block, kd.data(), kd.size());
+    } else {
+        std::memcpy(key_block, key, key_len);
+    }
+
+    uint8_t ipad[64], opad[64];
+    for (int i = 0; i < 64; ++i) {
+        ipad[i] = key_block[i] ^ 0x36;
+        opad[i] = key_block[i] ^ 0x5c;
+    }
+
+    Sha256 inner;
+    inner.update(ipad, 64);
+    inner.update(data, data_len);
+    Sha256Digest inner_digest = inner.finish();
+
+    Sha256 outer;
+    outer.update(opad, 64);
+    outer.update(inner_digest.data(), inner_digest.size());
+    return outer.finish();
+}
+
+bool
+digest_equal(const Sha256Digest &a, const Sha256Digest &b)
+{
+    uint8_t diff = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        diff |= a[i] ^ b[i];
+    }
+    return diff == 0;
+}
+
+} // namespace occlum::crypto

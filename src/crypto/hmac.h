@@ -1,0 +1,33 @@
+/**
+ * @file
+ * HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+ *
+ * Used for: local-attestation report MACs, encrypted-FS block
+ * authentication, and the verifier's signature over approved binaries.
+ */
+#ifndef OCCLUM_CRYPTO_HMAC_H
+#define OCCLUM_CRYPTO_HMAC_H
+
+#include "crypto/sha256.h"
+
+namespace occlum::crypto {
+
+/** A 16-byte symmetric key (matches SGX report key width). */
+using Key128 = std::array<uint8_t, 16>;
+
+/** Compute HMAC-SHA-256 over `data` with an arbitrary-length key. */
+Sha256Digest hmac_sha256(const uint8_t *key, size_t key_len,
+                         const uint8_t *data, size_t data_len);
+
+inline Sha256Digest
+hmac_sha256(const Bytes &key, const Bytes &data)
+{
+    return hmac_sha256(key.data(), key.size(), data.data(), data.size());
+}
+
+/** Constant-time digest comparison. */
+bool digest_equal(const Sha256Digest &a, const Sha256Digest &b);
+
+} // namespace occlum::crypto
+
+#endif // OCCLUM_CRYPTO_HMAC_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4), implemented from scratch.
+ *
+ * Used for enclave measurement (EEXTEND), OELF content digests, and as
+ * the compression function under HMAC. Tested against the FIPS/NIST
+ * vectors in tests/crypto_test.cc.
+ */
+#ifndef OCCLUM_CRYPTO_SHA256_H
+#define OCCLUM_CRYPTO_SHA256_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "base/bytes.h"
+
+namespace occlum::crypto {
+
+/** A 32-byte SHA-256 digest. */
+using Sha256Digest = std::array<uint8_t, 32>;
+
+/** Incremental SHA-256 hasher. */
+class Sha256
+{
+  public:
+    Sha256() { reset(); }
+
+    /** Reset to the initial state. */
+    void reset();
+
+    /** Absorb `len` bytes. */
+    void update(const uint8_t *data, size_t len);
+    void update(const Bytes &data) { update(data.data(), data.size()); }
+
+    /** Finalize and return the digest; the hasher must be reset after. */
+    Sha256Digest finish();
+
+    /** One-shot convenience. */
+    static Sha256Digest
+    digest(const uint8_t *data, size_t len)
+    {
+        Sha256 h;
+        h.update(data, len);
+        return h.finish();
+    }
+
+    static Sha256Digest
+    digest(const Bytes &data)
+    {
+        return digest(data.data(), data.size());
+    }
+
+  private:
+    void compress(const uint8_t block[64]);
+
+    uint32_t state_[8];
+    uint8_t buffer_[64];
+    size_t buffered_ = 0;
+    uint64_t total_len_ = 0;
+};
+
+} // namespace occlum::crypto
+
+#endif // OCCLUM_CRYPTO_SHA256_H

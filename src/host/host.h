@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The untrusted host world: where binaries live, where the encrypted
+ * file system's block device persists, and where the network sits.
+ *
+ * In the paper's threat model (§3.1) everything here is attacker-
+ * controlled; the Occlum LibOS therefore never trusts host content —
+ * binaries are signature-checked, FS blocks are decrypted and
+ * HMAC-verified, network data is opaque.
+ */
+#ifndef OCCLUM_HOST_HOST_H
+#define OCCLUM_HOST_HOST_H
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/bytes.h"
+#include "base/cost_model.h"
+#include "base/result.h"
+#include "base/sim_clock.h"
+
+namespace occlum::host {
+
+/**
+ * A simple path -> bytes store: the host directory containing OELF
+ * binaries and (for the Linux baseline) plain files. Cost charging is
+ * the OS personality's job, not this store's.
+ */
+class HostFileStore
+{
+  public:
+    void
+    put(const std::string &path, Bytes content)
+    {
+        files_[path] = std::move(content);
+    }
+
+    bool exists(const std::string &path) const
+    {
+        return files_.count(path) != 0;
+    }
+
+    Result<const Bytes *>
+    get(const std::string &path) const
+    {
+        auto it = files_.find(path);
+        if (it == files_.end()) {
+            return Error(ErrorCode::kNoEnt, "no such host file: " + path);
+        }
+        return &it->second;
+    }
+
+    Bytes *
+    get_mutable(const std::string &path)
+    {
+        return &files_[path];
+    }
+
+    void remove(const std::string &path) { files_.erase(path); }
+
+    size_t count() const { return files_.size(); }
+
+  private:
+    std::map<std::string, Bytes> files_;
+};
+
+/**
+ * A block device backing the encrypted file system (the 1 TB SSD of
+ * the paper's testbed). Reads and writes charge calibrated disk costs
+ * to the shared clock. Content is untrusted: the enclave-side FS
+ * encrypts and MACs every block.
+ */
+class BlockDevice
+{
+  public:
+    static constexpr uint64_t kBlockSize = 4096;
+
+    BlockDevice(SimClock &clock, uint64_t block_count)
+        : clock_(&clock), blocks_(block_count)
+    {}
+
+    uint64_t block_count() const { return blocks_.size(); }
+
+    Status
+    read_block(uint64_t index, Bytes &out)
+    {
+        if (index >= blocks_.size()) {
+            return Status(ErrorCode::kInval, "block index out of range");
+        }
+        charge_read(kBlockSize);
+        if (blocks_[index].empty()) {
+            out.assign(kBlockSize, 0);
+        } else {
+            out = blocks_[index];
+        }
+        return Status();
+    }
+
+    Status
+    write_block(uint64_t index, const Bytes &in)
+    {
+        if (index >= blocks_.size() || in.size() != kBlockSize) {
+            return Status(ErrorCode::kInval, "bad block write");
+        }
+        charge_write(kBlockSize);
+        blocks_[index] = in;
+        return Status();
+    }
+
+    /** Raw access without cost (used by tests to inspect/tamper). */
+    Bytes &raw_block(uint64_t index) { return blocks_[index]; }
+
+  private:
+    void
+    charge_read(uint64_t bytes)
+    {
+        clock_->advance(CostModel::kDiskRequestCycles +
+                        static_cast<uint64_t>(
+                            bytes * CostModel::kDiskReadCyclesPerByte));
+    }
+
+    void
+    charge_write(uint64_t bytes)
+    {
+        clock_->advance(CostModel::kDiskRequestCycles +
+                        static_cast<uint64_t>(
+                            bytes * CostModel::kDiskWriteCyclesPerByte));
+    }
+
+    SimClock *clock_;
+    std::vector<Bytes> blocks_;
+};
+
+/**
+ * The 1 Gbps LAN between the server under test and the load
+ * generator. Models a shared-bandwidth link ("busy-until" semantics)
+ * plus a fixed round-trip latency; data chunks become readable at
+ * their computed arrival timestamps.
+ */
+class NetSim
+{
+  public:
+    explicit NetSim(SimClock &clock) : clock_(&clock) {}
+
+    /** One direction of a connection: chunks with arrival times. */
+    struct Chunk {
+        Bytes data;
+        uint64_t arrival_cycles;
+        size_t consumed = 0;
+    };
+
+    struct Connection {
+        int id = 0;
+        bool open_server = true;   // server side not closed
+        bool open_client = true;   // client side not closed
+        std::deque<Chunk> to_server;
+        std::deque<Chunk> to_client;
+    };
+
+    /** Create a listener; returns false if the port is taken. */
+    bool listen(uint16_t port, int backlog);
+
+    /** Client side: initiate a connection (completes after RTT/2). */
+    Result<Connection *> connect(uint16_t port);
+
+    /** Server side: pop a pending connection if one has arrived. */
+    Connection *try_accept(uint16_t port, uint64_t now_cycles);
+
+    /** Earliest pending-connection arrival, or ~0 if none. */
+    uint64_t next_accept_time(uint16_t port) const;
+
+    /** Enqueue bytes (shared-link bandwidth + half-RTT latency). */
+    void send(Connection *conn, bool from_server, const uint8_t *data,
+              size_t len);
+
+    /**
+     * Dequeue up to `cap` arrived bytes. Returns bytes read; sets
+     * `next_arrival` to the earliest pending arrival when 0 is
+     * returned with data still in flight (~0 if the queue is empty).
+     */
+    size_t recv(Connection *conn, bool at_server, uint8_t *out, size_t cap,
+                uint64_t now_cycles, uint64_t &next_arrival);
+
+    void close(Connection *conn, bool server_side);
+
+    /** True if the peer closed and nothing is left to read. */
+    bool is_drained(const Connection *conn, bool at_server,
+                    uint64_t now_cycles) const;
+
+  private:
+    struct Listener {
+        int backlog = 16;
+        std::deque<std::pair<std::unique_ptr<Connection>, uint64_t>>
+            pending; // connection + arrival time
+    };
+
+    SimClock *clock_;
+    std::map<uint16_t, Listener> listeners_;
+    std::vector<std::unique_ptr<Connection>> established_;
+    uint64_t link_busy_until_ = 0;
+    int next_conn_id_ = 1;
+};
+
+} // namespace occlum::host
+
+#endif // OCCLUM_HOST_HOST_H

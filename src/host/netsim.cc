@@ -1,0 +1,145 @@
+#include "host/host.h"
+
+#include "base/log.h"
+
+namespace occlum::host {
+
+bool
+NetSim::listen(uint16_t port, int backlog)
+{
+    if (listeners_.count(port)) {
+        return false;
+    }
+    Listener listener;
+    listener.backlog = backlog;
+    listeners_.emplace(port, std::move(listener));
+    return true;
+}
+
+Result<NetSim::Connection *>
+NetSim::connect(uint16_t port)
+{
+    auto it = listeners_.find(port);
+    if (it == listeners_.end()) {
+        return Error(ErrorCode::kNoEnt, "connection refused");
+    }
+    if (it->second.pending.size() >=
+        static_cast<size_t>(it->second.backlog)) {
+        return Error(ErrorCode::kAgain, "backlog full");
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_conn_id_++;
+    Connection *raw = conn.get();
+    uint64_t arrival = clock_->cycles() + CostModel::kNetRttCycles / 2;
+    it->second.pending.emplace_back(std::move(conn), arrival);
+    return raw;
+}
+
+NetSim::Connection *
+NetSim::try_accept(uint16_t port, uint64_t now_cycles)
+{
+    auto it = listeners_.find(port);
+    if (it == listeners_.end() || it->second.pending.empty()) {
+        return nullptr;
+    }
+    if (it->second.pending.front().second > now_cycles) {
+        return nullptr;
+    }
+    std::unique_ptr<Connection> conn =
+        std::move(it->second.pending.front().first);
+    it->second.pending.pop_front();
+    Connection *raw = conn.get();
+    established_.push_back(std::move(conn));
+    return raw;
+}
+
+uint64_t
+NetSim::next_accept_time(uint16_t port) const
+{
+    auto it = listeners_.find(port);
+    if (it == listeners_.end() || it->second.pending.empty()) {
+        return ~0ull;
+    }
+    return it->second.pending.front().second;
+}
+
+void
+NetSim::send(Connection *conn, bool from_server, const uint8_t *data,
+             size_t len)
+{
+    // Shared 1 Gbps link: the transfer occupies the link starting at
+    // max(now, busy_until); it lands half an RTT after it finishes.
+    uint64_t start = std::max(clock_->cycles(), link_busy_until_);
+    uint64_t transfer =
+        static_cast<uint64_t>(len * CostModel::kNetCyclesPerByte);
+    link_busy_until_ = start + transfer;
+    uint64_t arrival =
+        link_busy_until_ + CostModel::kNetRttCycles / 2;
+
+    Chunk chunk;
+    chunk.data.assign(data, data + len);
+    chunk.arrival_cycles = arrival;
+    (from_server ? conn->to_client : conn->to_server)
+        .push_back(std::move(chunk));
+}
+
+size_t
+NetSim::recv(Connection *conn, bool at_server, uint8_t *out, size_t cap,
+             uint64_t now_cycles, uint64_t &next_arrival)
+{
+    auto &queue = at_server ? conn->to_server : conn->to_client;
+    next_arrival = ~0ull;
+    if (!queue.empty() &&
+        queue.front().arrival_cycles > now_cycles) {
+        // Report the pending arrival even for zero-capacity probes.
+        next_arrival = queue.front().arrival_cycles;
+    }
+    size_t total = 0;
+    while (total < cap && !queue.empty()) {
+        Chunk &chunk = queue.front();
+        if (chunk.arrival_cycles > now_cycles) {
+            next_arrival = chunk.arrival_cycles;
+            break;
+        }
+        size_t n = std::min(cap - total,
+                            chunk.data.size() - chunk.consumed);
+        std::copy(chunk.data.begin() + chunk.consumed,
+                  chunk.data.begin() + chunk.consumed + n, out + total);
+        chunk.consumed += n;
+        total += n;
+        if (chunk.consumed == chunk.data.size()) {
+            queue.pop_front();
+        }
+    }
+    return total;
+}
+
+void
+NetSim::close(Connection *conn, bool server_side)
+{
+    if (server_side) {
+        conn->open_server = false;
+    } else {
+        conn->open_client = false;
+    }
+}
+
+bool
+NetSim::is_drained(const Connection *conn, bool at_server,
+                   uint64_t now_cycles) const
+{
+    const auto &queue = at_server ? conn->to_server : conn->to_client;
+    bool peer_open = at_server ? conn->open_client : conn->open_server;
+    if (peer_open) {
+        return false;
+    }
+    for (const auto &chunk : queue) {
+        (void)now_cycles;
+        if (chunk.consumed < chunk.data.size()) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace occlum::host

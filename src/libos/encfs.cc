@@ -1,0 +1,819 @@
+#include "libos/encfs.h"
+
+#include <cstring>
+
+#include "base/cost_model.h"
+#include "base/log.h"
+
+namespace occlum::libos {
+
+namespace {
+
+constexpr uint32_t kIndirectEntries =
+    EncFs::kBlockSize / sizeof(uint32_t);
+
+} // namespace
+
+EncFs::EncFs(host::BlockDevice &device, SimClock &clock, Config config)
+    : device_(&device), clock_(&clock), config_(config),
+      cipher_(config.key)
+{
+    // Geometry: MAC table sized to cover every payload block.
+    uint64_t total = device.block_count();
+    uint32_t records_per_block = kBlockSize / kMacRecordSize;
+    // mac_blocks * records_per_block >= total - mac_blocks
+    mac_blocks_ = static_cast<uint32_t>(
+        (total + records_per_block) / (records_per_block + 1));
+    if (mac_blocks_ == 0) {
+        mac_blocks_ = 1;
+    }
+    super_block_ = mac_blocks_;
+    inode_table_start_ = super_block_ + 1;
+    inode_blocks_ =
+        (config_.inode_count * kInodeSize + kBlockSize - 1) / kBlockSize;
+    bitmap_start_ = inode_table_start_ + inode_blocks_;
+    uint64_t data_candidates = total - bitmap_start_;
+    bitmap_blocks_ = static_cast<uint32_t>(
+        (data_candidates + kBlockSize * 8 - 1) / (kBlockSize * 8));
+    if (bitmap_blocks_ == 0) {
+        bitmap_blocks_ = 1;
+    }
+    data_start_ = bitmap_start_ + bitmap_blocks_;
+    OCC_CHECK_MSG(data_start_ < total, "device too small for EncFs");
+}
+
+void
+EncFs::charge_crypto(uint64_t bytes)
+{
+    clock_->advance(static_cast<uint64_t>(
+        bytes * (CostModel::kAesCyclesPerByte +
+                 CostModel::kHmacCyclesPerByte)));
+}
+
+void
+EncFs::charge_ocall()
+{
+    clock_->advance(config_.ocall_cycles);
+}
+
+Bytes
+EncFs::crypt_block(uint32_t block, uint64_t counter, const Bytes &in) const
+{
+    std::array<uint8_t, 12> iv{};
+    set_le<uint64_t>(iv.data(), block);
+    set_le<uint32_t>(iv.data() + 8, static_cast<uint32_t>(counter));
+    return cipher_.ctr_crypt(iv, static_cast<uint32_t>(counter >> 32),
+                             in);
+}
+
+crypto::Sha256Digest
+EncFs::block_mac(uint32_t block, uint64_t counter,
+                 const Bytes &ciphertext) const
+{
+    Bytes payload = ciphertext;
+    put_le<uint32_t>(payload, block);
+    put_le<uint64_t>(payload, counter);
+    return crypto::hmac_sha256(config_.key.data(), config_.key.size(),
+                               payload.data(), payload.size());
+}
+
+// ---------------------------------------------------------------------
+// MAC table
+// ---------------------------------------------------------------------
+
+Status
+EncFs::load_mac_table()
+{
+    uint64_t total = device_->block_count();
+    mac_table_.assign(total, MacRecord{});
+    mac_block_dirty_.assign(mac_blocks_, false);
+    uint32_t records_per_block = kBlockSize / kMacRecordSize;
+    for (uint32_t mb = 0; mb < mac_blocks_; ++mb) {
+        Bytes raw;
+        OCC_RETURN_IF_ERROR(device_->read_block(mb, raw));
+        charge_ocall();
+        for (uint32_t r = 0; r < records_per_block; ++r) {
+            uint64_t index =
+                static_cast<uint64_t>(mb) * records_per_block + r +
+                mac_blocks_;
+            if (index >= total) {
+                break;
+            }
+            const uint8_t *rec = raw.data() + r * kMacRecordSize;
+            MacRecord record;
+            std::memcpy(record.mac.data(), rec, 32);
+            record.counter = get_le<uint64_t>(rec + 32);
+            mac_table_[index] = record;
+        }
+    }
+    return Status();
+}
+
+Status
+EncFs::flush_mac_table()
+{
+    uint32_t records_per_block = kBlockSize / kMacRecordSize;
+    uint64_t total = device_->block_count();
+    for (uint32_t mb = 0; mb < mac_blocks_; ++mb) {
+        if (!mac_block_dirty_[mb]) {
+            continue;
+        }
+        Bytes raw(kBlockSize, 0);
+        for (uint32_t r = 0; r < records_per_block; ++r) {
+            uint64_t index =
+                static_cast<uint64_t>(mb) * records_per_block + r +
+                mac_blocks_;
+            if (index >= total) {
+                break;
+            }
+            uint8_t *rec = raw.data() + r * kMacRecordSize;
+            std::memcpy(rec, mac_table_[index].mac.data(), 32);
+            set_le<uint64_t>(rec + 32, mac_table_[index].counter);
+        }
+        OCC_RETURN_IF_ERROR(device_->write_block(mb, raw));
+        charge_ocall();
+        mac_block_dirty_[mb] = false;
+    }
+    return Status();
+}
+
+// ---------------------------------------------------------------------
+// block cache
+// ---------------------------------------------------------------------
+
+Result<Bytes *>
+EncFs::get_block(uint32_t block, bool for_write)
+{
+    OCC_CHECK_MSG(block >= mac_blocks_ &&
+                  block < device_->block_count(),
+                  "payload block out of range");
+    auto it = cache_.find(block);
+    if (it != cache_.end()) {
+        ++cache_hits_;
+        it->second.stamp = ++lru_stamp_;
+        if (for_write) {
+            it->second.dirty = true;
+        }
+        return &it->second.data;
+    }
+    ++cache_misses_;
+    OCC_RETURN_IF_ERROR(evict_if_needed());
+
+    const MacRecord &record = mac_table_[block];
+    CacheEntry entry;
+    entry.stamp = ++lru_stamp_;
+    entry.dirty = for_write;
+    if (record.counter == 0) {
+        // Never written: logically zero, nothing to fetch or verify.
+        entry.data.assign(kBlockSize, 0);
+    } else {
+        Bytes ciphertext;
+        OCC_RETURN_IF_ERROR(device_->read_block(block, ciphertext));
+        charge_ocall();
+        crypto::Sha256Digest expect =
+            block_mac(block, record.counter, ciphertext);
+        charge_crypto(kBlockSize);
+        if (!crypto::digest_equal(expect, record.mac)) {
+            return Error(ErrorCode::kIo,
+                         "EncFs: integrity check failed on block " +
+                             std::to_string(block));
+        }
+        entry.data = crypt_block(block, record.counter, ciphertext);
+    }
+    auto [pos, inserted] = cache_.emplace(block, std::move(entry));
+    OCC_CHECK(inserted);
+    return &pos->second.data;
+}
+
+Status
+EncFs::flush_entry(uint32_t block, CacheEntry &entry)
+{
+    if (!entry.dirty) {
+        return Status();
+    }
+    MacRecord &record = mac_table_[block];
+    ++record.counter;
+    Bytes ciphertext = crypt_block(block, record.counter, entry.data);
+    record.mac = block_mac(block, record.counter, ciphertext);
+    charge_crypto(kBlockSize);
+    OCC_RETURN_IF_ERROR(device_->write_block(block, ciphertext));
+    charge_ocall();
+    uint32_t records_per_block = kBlockSize / kMacRecordSize;
+    mac_block_dirty_[(block - mac_blocks_) / records_per_block] = true;
+    entry.dirty = false;
+    return Status();
+}
+
+Status
+EncFs::evict_if_needed()
+{
+    while (cache_.size() >= config_.cache_blocks) {
+        auto victim = cache_.begin();
+        for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+            if (it->second.stamp < victim->second.stamp) {
+                victim = it;
+            }
+        }
+        OCC_RETURN_IF_ERROR(flush_entry(victim->first, victim->second));
+        cache_.erase(victim);
+    }
+    return Status();
+}
+
+Status
+EncFs::sync()
+{
+    for (auto &[block, entry] : cache_) {
+        OCC_RETURN_IF_ERROR(flush_entry(block, entry));
+    }
+    return flush_mac_table();
+}
+
+// ---------------------------------------------------------------------
+// format / mount
+// ---------------------------------------------------------------------
+
+Status
+EncFs::mkfs()
+{
+    mac_table_.assign(device_->block_count(), MacRecord{});
+    mac_block_dirty_.assign(mac_blocks_, true);
+    cache_.clear();
+    mounted_ = true;
+
+    // Superblock.
+    Bytes *super = nullptr;
+    {
+        auto sb = get_block(super_block_, true);
+        if (!sb.ok()) return sb.error();
+        super = sb.take();
+    }
+    std::memset(super->data(), 0, kBlockSize);
+    set_le<uint32_t>(super->data(), kMagic);
+    set_le<uint32_t>(super->data() + 4, config_.inode_count);
+
+    // Root directory: inode 0.
+    Inode root;
+    root.type = InodeType::kDir;
+    root.size = 0;
+    for (auto &d : root.direct) {
+        d = kNoBlock;
+    }
+    root.indirect = kNoBlock;
+    // Clear the full inode table + bitmap first.
+    for (uint32_t b = inode_table_start_; b < data_start_; ++b) {
+        auto blk = get_block(b, true);
+        if (!blk.ok()) return blk.error();
+        std::memset(blk.value()->data(), 0, kBlockSize);
+    }
+    OCC_RETURN_IF_ERROR(store_inode(0, root));
+    root_inode_ = 0;
+    return sync();
+}
+
+Status
+EncFs::mount()
+{
+    OCC_RETURN_IF_ERROR(load_mac_table());
+    cache_.clear();
+    mounted_ = true;
+    auto sb = get_block(super_block_, false);
+    if (!sb.ok()) {
+        return sb.error();
+    }
+    if (get_le<uint32_t>(sb.value()->data()) != kMagic) {
+        mounted_ = false;
+        return Status(ErrorCode::kInval, "EncFs: bad superblock magic");
+    }
+    root_inode_ = 0;
+    return Status();
+}
+
+// ---------------------------------------------------------------------
+// allocation
+// ---------------------------------------------------------------------
+
+Result<uint32_t>
+EncFs::alloc_block()
+{
+    uint64_t data_blocks = device_->block_count() - data_start_;
+    for (uint32_t bb = 0; bb < bitmap_blocks_; ++bb) {
+        auto blk = get_block(bitmap_start_ + bb, false);
+        if (!blk.ok()) return blk.error();
+        Bytes &bits = *blk.value();
+        for (uint32_t byte = 0; byte < kBlockSize; ++byte) {
+            if (bits[byte] == 0xff) {
+                continue;
+            }
+            for (int bit = 0; bit < 8; ++bit) {
+                uint64_t index =
+                    (static_cast<uint64_t>(bb) * kBlockSize + byte) * 8 +
+                    bit;
+                if (index >= data_blocks) {
+                    return Error(ErrorCode::kNoSpc, "EncFs full");
+                }
+                if (!(bits[byte] & (1 << bit))) {
+                    auto wblk = get_block(bitmap_start_ + bb, true);
+                    if (!wblk.ok()) return wblk.error();
+                    (*wblk.value())[byte] |=
+                        static_cast<uint8_t>(1 << bit);
+                    return static_cast<uint32_t>(data_start_ + index);
+                }
+            }
+        }
+    }
+    return Error(ErrorCode::kNoSpc, "EncFs full");
+}
+
+Status
+EncFs::free_block(uint32_t block)
+{
+    if (block < data_start_ || block >= device_->block_count()) {
+        return Status(ErrorCode::kInval, "free of non-data block");
+    }
+    uint64_t index = block - data_start_;
+    uint32_t bb = static_cast<uint32_t>(index / (kBlockSize * 8));
+    auto blk = get_block(bitmap_start_ + bb, true);
+    if (!blk.ok()) return blk.error();
+    uint64_t in_block = index % (kBlockSize * 8);
+    (*blk.value())[in_block / 8] &=
+        static_cast<uint8_t>(~(1 << (in_block % 8)));
+    return Status();
+}
+
+Result<uint32_t>
+EncFs::alloc_inode(InodeType type)
+{
+    for (uint32_t i = 0; i < config_.inode_count; ++i) {
+        auto inode = load_inode(i);
+        if (!inode.ok()) return inode.error();
+        if (inode.value().type == InodeType::kFree &&
+            (i != root_inode_)) {
+            Inode fresh;
+            fresh.type = type;
+            fresh.size = 0;
+            for (auto &d : fresh.direct) {
+                d = kNoBlock;
+            }
+            fresh.indirect = kNoBlock;
+            OCC_RETURN_IF_ERROR(store_inode(i, fresh));
+            return i;
+        }
+    }
+    return Error(ErrorCode::kNoSpc, "out of inodes");
+}
+
+// ---------------------------------------------------------------------
+// inodes
+// ---------------------------------------------------------------------
+
+Result<EncFs::Inode>
+EncFs::load_inode(uint32_t index)
+{
+    if (index >= config_.inode_count) {
+        return Error(ErrorCode::kInval, "bad inode index");
+    }
+    uint32_t per_block = kBlockSize / kInodeSize;
+    auto blk = get_block(inode_table_start_ + index / per_block, false);
+    if (!blk.ok()) return blk.error();
+    const uint8_t *raw =
+        blk.value()->data() + (index % per_block) * kInodeSize;
+    Inode inode;
+    inode.type = static_cast<InodeType>(raw[0]);
+    inode.size = get_le<uint64_t>(raw + 8);
+    for (uint32_t d = 0; d < kDirectBlocks; ++d) {
+        inode.direct[d] = get_le<uint32_t>(raw + 16 + 4 * d);
+    }
+    inode.indirect = get_le<uint32_t>(raw + 16 + 4 * kDirectBlocks);
+    return inode;
+}
+
+Status
+EncFs::store_inode(uint32_t index, const Inode &inode)
+{
+    if (index >= config_.inode_count) {
+        return Status(ErrorCode::kInval, "bad inode index");
+    }
+    uint32_t per_block = kBlockSize / kInodeSize;
+    auto blk = get_block(inode_table_start_ + index / per_block, true);
+    if (!blk.ok()) return blk.error();
+    uint8_t *raw = blk.value()->data() + (index % per_block) * kInodeSize;
+    std::memset(raw, 0, kInodeSize);
+    raw[0] = static_cast<uint8_t>(inode.type);
+    set_le<uint64_t>(raw + 8, inode.size);
+    for (uint32_t d = 0; d < kDirectBlocks; ++d) {
+        set_le<uint32_t>(raw + 16 + 4 * d, inode.direct[d]);
+    }
+    set_le<uint32_t>(raw + 16 + 4 * kDirectBlocks, inode.indirect);
+    return Status();
+}
+
+Result<uint32_t>
+EncFs::map_file_block(Inode &inode, uint64_t file_block, bool allocate,
+                      bool &inode_dirty)
+{
+    if (file_block < kDirectBlocks) {
+        uint32_t block = inode.direct[file_block];
+        if (block == kNoBlock) {
+            if (!allocate) {
+                return kNoBlock;
+            }
+            auto fresh = alloc_block();
+            if (!fresh.ok()) return fresh.error();
+            inode.direct[file_block] = fresh.value();
+            inode_dirty = true;
+            return fresh.value();
+        }
+        return block;
+    }
+    uint64_t ind_index = file_block - kDirectBlocks;
+    if (ind_index >= kIndirectEntries) {
+        return Error(ErrorCode::kNoSpc, "file too large for EncFs");
+    }
+    if (inode.indirect == kNoBlock) {
+        if (!allocate) {
+            return kNoBlock;
+        }
+        auto fresh = alloc_block();
+        if (!fresh.ok()) return fresh.error();
+        inode.indirect = fresh.value();
+        inode_dirty = true;
+        auto blk = get_block(inode.indirect, true);
+        if (!blk.ok()) return blk.error();
+        std::memset(blk.value()->data(), 0xff, kBlockSize); // kNoBlock
+    }
+    auto ind = get_block(inode.indirect, false);
+    if (!ind.ok()) return ind.error();
+    uint32_t block =
+        get_le<uint32_t>(ind.value()->data() + 4 * ind_index);
+    if (block == kNoBlock) {
+        if (!allocate) {
+            return kNoBlock;
+        }
+        auto fresh = alloc_block();
+        if (!fresh.ok()) return fresh.error();
+        auto wind = get_block(inode.indirect, true);
+        if (!wind.ok()) return wind.error();
+        set_le<uint32_t>(wind.value()->data() + 4 * ind_index,
+                         fresh.value());
+        return fresh.value();
+    }
+    return block;
+}
+
+// ---------------------------------------------------------------------
+// directories
+// ---------------------------------------------------------------------
+
+Result<uint32_t>
+EncFs::dir_lookup(uint32_t dir_inode, const std::string &name)
+{
+    auto dir = load_inode(dir_inode);
+    if (!dir.ok()) return dir.error();
+    if (dir.value().type != InodeType::kDir) {
+        return Error(ErrorCode::kNotDir, "not a directory");
+    }
+    Bytes entry(kDirEntrySize);
+    for (uint64_t off = 0; off < dir.value().size;
+         off += kDirEntrySize) {
+        auto n = read(dir_inode, off, entry.data(), kDirEntrySize);
+        if (!n.ok()) return n.error();
+        uint32_t inode = get_le<uint32_t>(entry.data());
+        uint8_t name_len = entry[4];
+        if (inode == kNoBlock || name_len == 0) {
+            continue; // deleted slot
+        }
+        std::string entry_name(
+            reinterpret_cast<const char *>(entry.data() + 8), name_len);
+        if (entry_name == name) {
+            return inode;
+        }
+    }
+    return Error(ErrorCode::kNoEnt, "no such entry: " + name);
+}
+
+Status
+EncFs::dir_insert(uint32_t dir_inode, const std::string &name,
+                  uint32_t inode)
+{
+    if (name.empty() || name.size() > kNameMax) {
+        return Status(ErrorCode::kNameTooLong, "bad name");
+    }
+    auto dir = load_inode(dir_inode);
+    if (!dir.ok()) return dir.error();
+    Bytes entry(kDirEntrySize, 0);
+    // Reuse a deleted slot if any.
+    uint64_t slot = dir.value().size;
+    Bytes probe(kDirEntrySize);
+    for (uint64_t off = 0; off < dir.value().size;
+         off += kDirEntrySize) {
+        auto n = read(dir_inode, off, probe.data(), kDirEntrySize);
+        if (!n.ok()) return n.error();
+        if (get_le<uint32_t>(probe.data()) == kNoBlock ||
+            probe[4] == 0) {
+            slot = off;
+            break;
+        }
+    }
+    set_le<uint32_t>(entry.data(), inode);
+    entry[4] = static_cast<uint8_t>(name.size());
+    std::memcpy(entry.data() + 8, name.data(), name.size());
+    auto written = write(dir_inode, slot, entry.data(), kDirEntrySize);
+    if (!written.ok()) return written.error();
+    return Status();
+}
+
+Status
+EncFs::dir_remove(uint32_t dir_inode, const std::string &name)
+{
+    auto dir = load_inode(dir_inode);
+    if (!dir.ok()) return dir.error();
+    Bytes entry(kDirEntrySize);
+    for (uint64_t off = 0; off < dir.value().size;
+         off += kDirEntrySize) {
+        auto n = read(dir_inode, off, entry.data(), kDirEntrySize);
+        if (!n.ok()) return n.error();
+        uint8_t name_len = entry[4];
+        uint32_t inode = get_le<uint32_t>(entry.data());
+        if (inode == kNoBlock || name_len == 0) {
+            continue;
+        }
+        std::string entry_name(
+            reinterpret_cast<const char *>(entry.data() + 8), name_len);
+        if (entry_name == name) {
+            Bytes dead(kDirEntrySize, 0);
+            set_le<uint32_t>(dead.data(), kNoBlock);
+            auto w = write(dir_inode, off, dead.data(), kDirEntrySize);
+            if (!w.ok()) return w.error();
+            return Status();
+        }
+    }
+    return Status(ErrorCode::kNoEnt, "no such entry: " + name);
+}
+
+bool
+EncFs::dir_empty(uint32_t dir_inode)
+{
+    auto dir = load_inode(dir_inode);
+    if (!dir.ok()) return false;
+    Bytes entry(kDirEntrySize);
+    for (uint64_t off = 0; off < dir.value().size;
+         off += kDirEntrySize) {
+        auto n = read(dir_inode, off, entry.data(), kDirEntrySize);
+        if (!n.ok()) return false;
+        if (get_le<uint32_t>(entry.data()) != kNoBlock && entry[4] != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+Result<std::pair<uint32_t, std::string>>
+EncFs::resolve_parent(const std::string &path)
+{
+    if (path.empty() || path[0] != '/') {
+        return Error(ErrorCode::kInval, "paths must be absolute");
+    }
+    std::vector<std::string> parts;
+    std::string current;
+    for (char c : path) {
+        if (c == '/') {
+            if (!current.empty()) {
+                parts.push_back(current);
+                current.clear();
+            }
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty()) {
+        parts.push_back(current);
+    }
+    if (parts.empty()) {
+        return Error(ErrorCode::kIsDir, "path is the root");
+    }
+    uint32_t dir = root_inode_;
+    for (size_t i = 0; i + 1 < parts.size(); ++i) {
+        auto next = dir_lookup(dir, parts[i]);
+        if (!next.ok()) return next.error();
+        auto inode = load_inode(next.value());
+        if (!inode.ok()) return inode.error();
+        if (inode.value().type != InodeType::kDir) {
+            return Error(ErrorCode::kNotDir, parts[i]);
+        }
+        dir = next.value();
+    }
+    return std::make_pair(dir, parts.back());
+}
+
+// ---------------------------------------------------------------------
+// public operations
+// ---------------------------------------------------------------------
+
+Result<uint32_t>
+EncFs::open_inode(const std::string &path, bool create, bool do_truncate)
+{
+    OCC_CHECK_MSG(mounted_, "EncFs not mounted");
+    auto parent = resolve_parent(path);
+    if (!parent.ok()) return parent.error();
+    auto [dir, name] = parent.value();
+    auto found = dir_lookup(dir, name);
+    if (found.ok()) {
+        auto inode = load_inode(found.value());
+        if (!inode.ok()) return inode.error();
+        if (inode.value().type != InodeType::kFile) {
+            return Error(ErrorCode::kIsDir, path);
+        }
+        if (do_truncate) {
+            OCC_RETURN_IF_ERROR(truncate(found.value()));
+        }
+        return found.value();
+    }
+    if (!create) {
+        return Error(ErrorCode::kNoEnt, path);
+    }
+    auto inode = alloc_inode(InodeType::kFile);
+    if (!inode.ok()) return inode.error();
+    OCC_RETURN_IF_ERROR(dir_insert(dir, name, inode.value()));
+    return inode.value();
+}
+
+Status
+EncFs::mkdir(const std::string &path)
+{
+    auto parent = resolve_parent(path);
+    if (!parent.ok()) return parent.error();
+    auto [dir, name] = parent.value();
+    if (dir_lookup(dir, name).ok()) {
+        return Status(ErrorCode::kExist, path);
+    }
+    auto inode = alloc_inode(InodeType::kDir);
+    if (!inode.ok()) return inode.error();
+    return dir_insert(dir, name, inode.value());
+}
+
+Status
+EncFs::unlink(const std::string &path)
+{
+    auto parent = resolve_parent(path);
+    if (!parent.ok()) return parent.error();
+    auto [dir, name] = parent.value();
+    auto found = dir_lookup(dir, name);
+    if (!found.ok()) return found.error();
+    auto inode = load_inode(found.value());
+    if (!inode.ok()) return inode.error();
+    if (inode.value().type == InodeType::kDir &&
+        !dir_empty(found.value())) {
+        return Status(ErrorCode::kNotEmpty, path);
+    }
+    OCC_RETURN_IF_ERROR(truncate(found.value()));
+    Inode dead;
+    dead.type = InodeType::kFree;
+    for (auto &d : dead.direct) {
+        d = kNoBlock;
+    }
+    OCC_RETURN_IF_ERROR(store_inode(found.value(), dead));
+    return dir_remove(dir, name);
+}
+
+Result<bool>
+EncFs::exists(const std::string &path)
+{
+    auto parent = resolve_parent(path);
+    if (!parent.ok()) return parent.error();
+    auto [dir, name] = parent.value();
+    return dir_lookup(dir, name).ok();
+}
+
+Result<int64_t>
+EncFs::read(uint32_t inode_index, uint64_t offset, uint8_t *out,
+            uint64_t len)
+{
+    clock_->advance(CostModel::kEncFsOpCycles);
+    auto inode = load_inode(inode_index);
+    if (!inode.ok()) return inode.error();
+    Inode node = inode.take();
+    if (offset >= node.size) {
+        return 0;
+    }
+    len = std::min(len, node.size - offset);
+    uint64_t done = 0;
+    bool inode_dirty = false;
+    while (done < len) {
+        uint64_t pos = offset + done;
+        uint64_t file_block = pos / kBlockSize;
+        uint64_t in_block = pos % kBlockSize;
+        uint64_t n = std::min(kBlockSize - in_block, len - done);
+        auto block = map_file_block(node, file_block, false, inode_dirty);
+        if (!block.ok()) return block.error();
+        if (block.value() == kNoBlock) {
+            std::memset(out + done, 0, n); // hole
+        } else {
+            auto data = get_block(block.value(), false);
+            if (!data.ok()) return data.error();
+            std::memcpy(out + done, data.value()->data() + in_block, n);
+        }
+        done += n;
+    }
+    clock_->advance(static_cast<uint64_t>(
+        done * CostModel::kMemcpyCyclesPerByte));
+    return static_cast<int64_t>(done);
+}
+
+Result<int64_t>
+EncFs::write(uint32_t inode_index, uint64_t offset, const uint8_t *in,
+             uint64_t len)
+{
+    clock_->advance(CostModel::kEncFsOpCycles);
+    auto inode = load_inode(inode_index);
+    if (!inode.ok()) return inode.error();
+    Inode node = inode.take();
+    uint64_t done = 0;
+    bool inode_dirty = false;
+    while (done < len) {
+        uint64_t pos = offset + done;
+        uint64_t file_block = pos / kBlockSize;
+        uint64_t in_block = pos % kBlockSize;
+        uint64_t n = std::min(kBlockSize - in_block, len - done);
+        auto block = map_file_block(node, file_block, true, inode_dirty);
+        if (!block.ok()) return block.error();
+        auto data = get_block(block.value(), true);
+        if (!data.ok()) return data.error();
+        std::memcpy(data.value()->data() + in_block, in + done, n);
+        done += n;
+    }
+    if (offset + len > node.size) {
+        node.size = offset + len;
+        inode_dirty = true;
+    }
+    if (inode_dirty) {
+        OCC_RETURN_IF_ERROR(store_inode(inode_index, node));
+    }
+    clock_->advance(static_cast<uint64_t>(
+        done * CostModel::kMemcpyCyclesPerByte));
+    return static_cast<int64_t>(done);
+}
+
+Result<uint64_t>
+EncFs::file_size(uint32_t inode_index)
+{
+    auto inode = load_inode(inode_index);
+    if (!inode.ok()) return inode.error();
+    return inode.value().size;
+}
+
+Status
+EncFs::truncate(uint32_t inode_index)
+{
+    auto inode = load_inode(inode_index);
+    if (!inode.ok()) return inode.error();
+    Inode node = inode.take();
+    for (uint32_t d = 0; d < kDirectBlocks; ++d) {
+        if (node.direct[d] != kNoBlock) {
+            OCC_RETURN_IF_ERROR(free_block(node.direct[d]));
+            node.direct[d] = kNoBlock;
+        }
+    }
+    if (node.indirect != kNoBlock) {
+        auto ind = get_block(node.indirect, false);
+        if (!ind.ok()) return ind.error();
+        for (uint32_t e = 0; e < kIndirectEntries; ++e) {
+            uint32_t block =
+                get_le<uint32_t>(ind.value()->data() + 4 * e);
+            if (block != kNoBlock) {
+                OCC_RETURN_IF_ERROR(free_block(block));
+            }
+        }
+        OCC_RETURN_IF_ERROR(free_block(node.indirect));
+        node.indirect = kNoBlock;
+    }
+    node.size = 0;
+    return store_inode(inode_index, node);
+}
+
+Status
+EncFs::write_file(const std::string &path, const Bytes &content)
+{
+    auto inode = open_inode(path, true, true);
+    if (!inode.ok()) return inode.error();
+    auto written = write(inode.value(), 0, content.data(),
+                         content.size());
+    if (!written.ok()) return written.error();
+    return Status();
+}
+
+Result<Bytes>
+EncFs::read_file(const std::string &path)
+{
+    auto inode = open_inode(path, false, false);
+    if (!inode.ok()) return inode.error();
+    auto size = file_size(inode.value());
+    if (!size.ok()) return size.error();
+    Bytes out(size.value());
+    auto n = read(inode.value(), 0, out.data(), out.size());
+    if (!n.ok()) return n.error();
+    out.resize(static_cast<size_t>(n.value()));
+    return out;
+}
+
+} // namespace occlum::libos

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The user/LibOS ABI shared by the toolchain (which emits code against
+ * it) and the Occlum LibOS (which implements it).
+ *
+ * Register conventions:
+ *   r0        syscall number / return value / function return value
+ *   r1..r5    function + syscall arguments
+ *   r6..r12   caller-saved temporaries
+ *   r13       instrumentation scratch (cfi_guard) — never holds data
+ *   r14       caller-saved temporary
+ *   r15      stack pointer
+ *
+ * Process start state (set by the loader):
+ *   sp   = D.end - 16
+ *   bnd0 = [D.begin, D.end - 1]
+ *   bnd1 = [label, label] with label = cfi_label_value(domain_id)
+ *   rip  = C.begin + entry_offset
+ *
+ * The first kPcbSize bytes of the data region hold the process
+ * control block (PCB), written by the loader; user code addresses it
+ * RIP-relatively. Syscalls: put the number in r0, args in r1..r5,
+ * then cfi_guard + call_reg the trampoline address found in the PCB.
+ * The LibOS pops the return address, validates it is a cfi_label of
+ * the calling SIP (paper §6), writes the result to r0, and resumes.
+ */
+#ifndef OCCLUM_OELF_ABI_H
+#define OCCLUM_OELF_ABI_H
+
+#include <cstdint>
+
+namespace occlum::abi {
+
+/** Size reserved for the PCB at the start of the data region. */
+constexpr uint64_t kPcbSize = 1024;
+
+/** PCB field offsets from D.begin. */
+constexpr uint64_t kPcbTrampoline = 0; // address of the syscall gate
+constexpr uint64_t kPcbDomainId = 8;
+constexpr uint64_t kPcbHeapBegin = 16;
+constexpr uint64_t kPcbHeapEnd = 24;
+constexpr uint64_t kPcbArgc = 32;
+constexpr uint64_t kPcbArgv = 40;   // address of an argv pointer array
+constexpr uint64_t kPcbPid = 48;
+constexpr uint64_t kPcbArgBlob = 64; // argv pointers + string bytes
+
+/** LibOS system call numbers. */
+enum class Sys : uint64_t {
+    kExit = 0,       // exit(code)
+    kWrite = 1,      // write(fd, buf, len) -> written
+    kRead = 2,       // read(fd, buf, len) -> read
+    kOpen = 3,       // open(path, path_len, flags) -> fd
+    kClose = 4,      // close(fd)
+    kSpawn = 5,      // spawn(path, path_len, argv, argc) -> pid
+    kWaitPid = 6,    // waitpid(pid) -> exit code (blocks)
+    kGetPid = 7,     // getpid() -> pid
+    kPipe = 8,       // pipe(fds_out_ptr) -> 0
+    kDup2 = 9,       // dup2(oldfd, newfd)
+    kLseek = 10,     // lseek(fd, off, whence) -> pos
+    kUnlink = 11,    // unlink(path, path_len)
+    kMmap = 12,      // mmap(len) -> addr (anonymous, RW)
+    kMunmap = 13,    // munmap(addr, len)
+    kTime = 14,      // time() -> simulated nanoseconds
+    kKill = 15,      // kill(pid, sig)
+    kSockListen = 16,// sock_listen(port, backlog) -> fd
+    kSockAccept = 17,// sock_accept(fd) -> connection fd (blocks)
+    kSockSend = 18,  // sock_send(fd, buf, len) -> sent
+    kSockRecv = 19,  // sock_recv(fd, buf, len) -> received (blocks)
+    kYield = 20,     // yield()
+    kFstatSize = 21, // fstat_size(fd) -> file size
+    kMkdir = 22,     // mkdir(path, path_len)
+    kFsync = 23,     // fsync(fd)
+    kSockConnect = 24,// sock_connect(port) -> fd
+    kGetArg = 25,    // getarg(index, buf, cap) -> len (argv helper)
+    kCount
+};
+
+/** open() flag bits (subset of POSIX). */
+constexpr uint64_t kOpenRead = 0x0;
+constexpr uint64_t kOpenWrite = 0x1;
+constexpr uint64_t kOpenRdWr = 0x2;
+constexpr uint64_t kOpenCreate = 0x40;
+constexpr uint64_t kOpenTrunc = 0x200;
+constexpr uint64_t kOpenAppend = 0x400;
+
+/** lseek whence. */
+constexpr uint64_t kSeekSet = 0;
+constexpr uint64_t kSeekCur = 1;
+constexpr uint64_t kSeekEnd = 2;
+
+/** Signals (minimal set). */
+constexpr uint64_t kSigKill = 9;
+constexpr uint64_t kSigTerm = 15;
+
+/** Negative errno encoding for syscall returns. */
+inline int64_t
+sys_err(int code)
+{
+    return -static_cast<int64_t>(code);
+}
+
+} // namespace occlum::abi
+
+#endif // OCCLUM_OELF_ABI_H

@@ -1,0 +1,114 @@
+#include "oskit/file_object.h"
+
+#include "oskit/kernel.h"
+
+namespace occlum::oskit {
+
+// ---------------------------------------------------------------------
+// PipeEnd
+// ---------------------------------------------------------------------
+
+void
+PipeEnd::on_fd_acquire()
+{
+    if (read_end_) {
+        ++pipe_->readers;
+    } else {
+        ++pipe_->writers;
+    }
+}
+
+void
+PipeEnd::on_fd_release(Kernel &kernel)
+{
+    (void)kernel;
+    if (read_end_) {
+        --pipe_->readers;
+    } else {
+        --pipe_->writers;
+    }
+}
+
+IoResult
+PipeEnd::read(Kernel &kernel, uint8_t *buf, uint64_t len)
+{
+    if (!read_end_) {
+        return IoResult::err(ErrorCode::kBadF);
+    }
+    if (pipe_->buffer.empty()) {
+        if (pipe_->writers == 0) {
+            return IoResult::ok(0); // EOF
+        }
+        return IoResult::block();
+    }
+    uint64_t n = std::min<uint64_t>(len, pipe_->buffer.size());
+    for (uint64_t i = 0; i < n; ++i) {
+        buf[i] = pipe_->buffer.front();
+        pipe_->buffer.pop_front();
+    }
+    kernel.charge(kernel.pipe_op_cost() +
+                  static_cast<uint64_t>(n * kernel.pipe_byte_cost()));
+    return IoResult::ok(static_cast<int64_t>(n));
+}
+
+IoResult
+PipeEnd::write(Kernel &kernel, const uint8_t *buf, uint64_t len)
+{
+    if (read_end_) {
+        return IoResult::err(ErrorCode::kBadF);
+    }
+    if (pipe_->readers == 0) {
+        return IoResult::err(ErrorCode::kPipe);
+    }
+    uint64_t room = Pipe::kCapacity - pipe_->buffer.size();
+    if (room == 0) {
+        return IoResult::block();
+    }
+    uint64_t n = std::min<uint64_t>(len, room);
+    pipe_->buffer.insert(pipe_->buffer.end(), buf, buf + n);
+    kernel.charge(kernel.pipe_op_cost() +
+                  static_cast<uint64_t>(n * kernel.pipe_byte_cost()));
+    return IoResult::ok(static_cast<int64_t>(n));
+}
+
+// ---------------------------------------------------------------------
+// SocketFile
+// ---------------------------------------------------------------------
+
+IoResult
+SocketFile::read(Kernel &kernel, uint8_t *buf, uint64_t len)
+{
+    uint64_t next_arrival = ~0ull;
+    size_t n = net_->recv(conn_, at_server_, buf, len,
+                          kernel.clock().cycles(), next_arrival);
+    if (n == 0) {
+        if (net_->is_drained(conn_, at_server_,
+                             kernel.clock().cycles())) {
+            return IoResult::ok(0); // peer closed, EOF
+        }
+        return IoResult::block(next_arrival);
+    }
+    kernel.charge(kernel.net_op_cost() +
+                  static_cast<uint64_t>(
+                      n * CostModel::kMemcpyCyclesPerByte));
+    return IoResult::ok(static_cast<int64_t>(n));
+}
+
+IoResult
+SocketFile::write(Kernel &kernel, const uint8_t *buf, uint64_t len)
+{
+    net_->send(conn_, at_server_, buf, len);
+    kernel.charge(kernel.net_op_cost() +
+                  static_cast<uint64_t>(
+                      len * CostModel::kMemcpyCyclesPerByte));
+    return IoResult::ok(static_cast<int64_t>(len));
+}
+
+void
+SocketFile::on_fd_release(Kernel &kernel)
+{
+    (void)kernel;
+    net_->close(conn_, at_server_);
+}
+
+} // namespace occlum::oskit

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * File-descriptor objects shared by every OS personality: pipes,
+ * console, sockets. Personalities add their own file-system backed
+ * objects (plain host files for the Linux model, encrypted-FS files
+ * for Occlum, protected read-only files for the EIP baseline).
+ */
+#ifndef OCCLUM_OSKIT_FILE_OBJECT_H
+#define OCCLUM_OSKIT_FILE_OBJECT_H
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "base/bytes.h"
+#include "base/result.h"
+#include "host/host.h"
+
+namespace occlum::oskit {
+
+class Kernel;
+
+/** Result of a read/write attempt on a file object. */
+struct IoResult {
+    int64_t value = 0;      // >=0 bytes / result, <0 -errno
+    bool would_block = false;
+    uint64_t wake_time = ~0ull; // earliest useful retry (cycles), if known
+
+    static IoResult
+    ok(int64_t v)
+    {
+        IoResult r;
+        r.value = v;
+        return r;
+    }
+
+    static IoResult
+    err(ErrorCode code)
+    {
+        IoResult r;
+        r.value = -static_cast<int64_t>(code);
+        return r;
+    }
+
+    static IoResult
+    block(uint64_t wake = ~0ull)
+    {
+        IoResult r;
+        r.would_block = true;
+        r.wake_time = wake;
+        return r;
+    }
+};
+
+/** Base class for everything an fd can point at. */
+class FileObject
+{
+  public:
+    virtual ~FileObject() = default;
+
+    virtual IoResult
+    read(Kernel &kernel, uint8_t *buf, uint64_t len)
+    {
+        (void)kernel;
+        (void)buf;
+        (void)len;
+        return IoResult::err(ErrorCode::kInval);
+    }
+
+    virtual IoResult
+    write(Kernel &kernel, const uint8_t *buf, uint64_t len)
+    {
+        (void)kernel;
+        (void)buf;
+        (void)len;
+        return IoResult::err(ErrorCode::kInval);
+    }
+
+    virtual Result<int64_t>
+    seek(int64_t offset, int whence)
+    {
+        (void)offset;
+        (void)whence;
+        return Error(ErrorCode::kSPipe, "not seekable");
+    }
+
+    virtual int64_t size() const { return -1; }
+
+    virtual Status
+    fsync(Kernel &kernel)
+    {
+        (void)kernel;
+        return Status();
+    }
+
+    /** Called when an fd referencing this object is installed. */
+    virtual void on_fd_acquire() {}
+    /** Called when an fd referencing this object is closed. */
+    virtual void on_fd_release(Kernel &kernel) { (void)kernel; }
+};
+
+using FilePtr = std::shared_ptr<FileObject>;
+
+/**
+ * An in-kernel pipe. Both personalities use it; the *cost* of moving
+ * bytes differs (Occlum/Linux copy, EIP encrypts through untrusted
+ * memory) and is charged by the kernel around the byte movement.
+ */
+class Pipe
+{
+  public:
+    static constexpr size_t kCapacity = 65536;
+
+    std::deque<uint8_t> buffer;
+    int readers = 0;
+    int writers = 0;
+
+    bool
+    can_read() const
+    {
+        return !buffer.empty() || writers == 0;
+    }
+
+    bool
+    can_write() const
+    {
+        return buffer.size() < kCapacity;
+    }
+};
+
+/** One end of a pipe. */
+class PipeEnd : public FileObject
+{
+  public:
+    PipeEnd(std::shared_ptr<Pipe> pipe, bool is_read_end)
+        : pipe_(std::move(pipe)), read_end_(is_read_end)
+    {}
+
+    IoResult read(Kernel &kernel, uint8_t *buf, uint64_t len) override;
+    IoResult write(Kernel &kernel, const uint8_t *buf,
+                   uint64_t len) override;
+    void on_fd_acquire() override;
+    void on_fd_release(Kernel &kernel) override;
+
+    bool is_read_end() const { return read_end_; }
+    Pipe &pipe() { return *pipe_; }
+
+  private:
+    std::shared_ptr<Pipe> pipe_;
+    bool read_end_;
+};
+
+/** The controlling console: stdout/stderr capture, EOF stdin. */
+class Console : public FileObject
+{
+  public:
+    explicit Console(std::string *sink) : sink_(sink) {}
+
+    IoResult
+    read(Kernel &, uint8_t *, uint64_t) override
+    {
+        return IoResult::ok(0); // EOF
+    }
+
+    IoResult
+    write(Kernel &, const uint8_t *buf, uint64_t len) override
+    {
+        sink_->append(reinterpret_cast<const char *>(buf), len);
+        return IoResult::ok(static_cast<int64_t>(len));
+    }
+
+  private:
+    std::string *sink_;
+};
+
+/** A connected TCP-like socket (server side lives in a process). */
+class SocketFile : public FileObject
+{
+  public:
+    SocketFile(host::NetSim *net, host::NetSim::Connection *conn,
+               bool at_server)
+        : net_(net), conn_(conn), at_server_(at_server)
+    {}
+
+    IoResult read(Kernel &kernel, uint8_t *buf, uint64_t len) override;
+    IoResult write(Kernel &kernel, const uint8_t *buf,
+                   uint64_t len) override;
+    void on_fd_release(Kernel &kernel) override;
+
+  private:
+    host::NetSim *net_;
+    host::NetSim::Connection *conn_;
+    bool at_server_;
+};
+
+/** A listening socket bound to a port. */
+class ListenerFile : public FileObject
+{
+  public:
+    ListenerFile(host::NetSim *net, uint16_t port)
+        : net_(net), port_(port)
+    {}
+
+    host::NetSim *net() { return net_; }
+    uint16_t port() const { return port_; }
+
+  private:
+    host::NetSim *net_;
+    uint16_t port_;
+};
+
+} // namespace occlum::oskit
+
+#endif // OCCLUM_OSKIT_FILE_OBJECT_H

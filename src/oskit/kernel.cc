@@ -1,0 +1,693 @@
+#include "oskit/kernel.h"
+
+#include <algorithm>
+
+#include "base/log.h"
+
+namespace occlum::oskit {
+
+using abi::Sys;
+
+namespace {
+
+int64_t
+neg_errno(ErrorCode code)
+{
+    return -static_cast<int64_t>(code);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// user-memory helpers
+// ---------------------------------------------------------------------
+
+Status
+Kernel::validate_user_range(Process &proc, uint64_t addr, uint64_t len)
+{
+    if (len == 0) {
+        return Status();
+    }
+    if (addr + len < addr || !proc.space->is_mapped(addr, len)) {
+        return Status(ErrorCode::kFault, "bad user pointer");
+    }
+    return Status();
+}
+
+Status
+Kernel::copy_from_user(Process &proc, uint64_t addr, void *out,
+                       uint64_t len)
+{
+    OCC_RETURN_IF_ERROR(validate_user_range(proc, addr, len));
+    if (proc.space->read_raw(addr, out, len) != vm::AccessFault::kNone) {
+        return Status(ErrorCode::kFault, "copy_from_user fault");
+    }
+    return Status();
+}
+
+Status
+Kernel::copy_to_user(Process &proc, uint64_t addr, const void *in,
+                     uint64_t len)
+{
+    OCC_RETURN_IF_ERROR(validate_user_range(proc, addr, len));
+    if (proc.space->write_raw(addr, in, len) != vm::AccessFault::kNone) {
+        return Status(ErrorCode::kFault, "copy_to_user fault");
+    }
+    return Status();
+}
+
+Result<std::string>
+Kernel::read_user_string(Process &proc, uint64_t addr, uint64_t len)
+{
+    if (len > 65536) {
+        return Error(ErrorCode::kNameTooLong, "string too long");
+    }
+    std::string out(len, '\0');
+    OCC_RETURN_IF_ERROR(copy_from_user(proc, addr, out.data(), len));
+    return out;
+}
+
+Result<std::string>
+Kernel::read_user_cstring(Process &proc, uint64_t addr, uint64_t max_len)
+{
+    std::string out;
+    for (uint64_t i = 0; i < max_len; ++i) {
+        char c = 0;
+        OCC_RETURN_IF_ERROR(copy_from_user(proc, addr + i, &c, 1));
+        if (c == '\0') {
+            return out;
+        }
+        out.push_back(c);
+    }
+    return Error(ErrorCode::kNameTooLong, "unterminated string");
+}
+
+// ---------------------------------------------------------------------
+// process lifecycle
+// ---------------------------------------------------------------------
+
+Result<int>
+Kernel::spawn(const std::string &path, const std::vector<std::string> &argv,
+              int parent_pid, const std::array<int64_t, 3> *stdio_fds)
+{
+    auto created = create_process(path, argv);
+    if (!created.ok()) {
+        return created.error();
+    }
+    std::unique_ptr<Process> proc = created.take();
+    proc->pid = next_pid_++;
+    proc->argv = argv;
+
+    // stdio: inherit from the parent per the fd map, else console.
+    Process *parent = nullptr;
+    if (parent_pid >= 0) {
+        auto it = procs_.find(parent_pid);
+        if (it != procs_.end()) {
+            parent = it->second.get();
+        }
+    }
+    auto console = std::make_shared<Console>(&console_);
+    for (int i = 0; i < 3; ++i) {
+        FilePtr file;
+        int64_t mapped = stdio_fds ? (*stdio_fds)[i] : -1;
+        if (parent && mapped >= 0) {
+            auto fit = parent->fds.find(static_cast<int>(mapped));
+            if (fit == parent->fds.end()) {
+                return Error(ErrorCode::kBadF, "spawn: bad stdio fd");
+            }
+            file = fit->second;
+        } else if (parent && parent->fds.count(i)) {
+            file = parent->fds.at(i);
+        } else {
+            file = console;
+        }
+        file->on_fd_acquire();
+        proc->fds[i] = std::move(file);
+    }
+
+    int pid = proc->pid;
+    // Expose the pid through the PCB if the personality mapped one.
+    if (proc->d_begin != 0) {
+        uint64_t pid64 = static_cast<uint64_t>(pid);
+        proc->space->write_raw(proc->d_begin + abi::kPcbPid, &pid64, 8);
+    }
+    procs_.emplace(pid, std::move(proc));
+    ++stats_.spawns;
+    any_progress_ = true;
+    return pid;
+}
+
+void
+Kernel::kill_process(Process &proc, DeathCause cause, int64_t code)
+{
+    if (proc.state == ProcState::kDead) {
+        return;
+    }
+    proc.state = ProcState::kDead;
+    proc.death = cause;
+    proc.exit_code = code;
+    // Release fds so pipe peers see EOF / EPIPE.
+    for (auto &[fd, file] : proc.fds) {
+        file->on_fd_release(*this);
+    }
+    proc.fds.clear();
+
+    DeathRecord record;
+    record.cause = cause;
+    record.code = code;
+    record.fault = proc.last_fault;
+    record.fault_addr = proc.last_fault_addr;
+    reaped_[proc.pid] = record;
+    if (cause == DeathCause::kFault || cause == DeathCause::kPrivileged) {
+        ++stats_.faults;
+    }
+    destroy_process(proc);
+    any_progress_ = true;
+}
+
+Result<int64_t>
+Kernel::exit_code(int pid) const
+{
+    auto it = reaped_.find(pid);
+    if (it == reaped_.end()) {
+        return Error(ErrorCode::kSrch, "pid not dead/known");
+    }
+    return it->second.code;
+}
+
+Result<DeathRecord>
+Kernel::death_record(int pid) const
+{
+    auto it = reaped_.find(pid);
+    if (it == reaped_.end()) {
+        return Error(ErrorCode::kSrch, "pid not dead/known");
+    }
+    return it->second;
+}
+
+const Process *
+Kernel::find_process(int pid) const
+{
+    auto it = procs_.find(pid);
+    if (it == procs_.end() || it->second->state == ProcState::kDead) {
+        return nullptr;
+    }
+    return it->second.get();
+}
+
+bool
+Kernel::all_exited() const
+{
+    for (const auto &[pid, proc] : procs_) {
+        if (proc->state != ProcState::kDead) {
+            return false;
+        }
+    }
+    return true;
+}
+
+uint64_t
+Kernel::next_wake_time() const
+{
+    uint64_t earliest = ~0ull;
+    for (const auto &[pid, proc] : procs_) {
+        if (proc->state == ProcState::kBlocked) {
+            earliest = std::min(earliest, proc->wake_time);
+        }
+    }
+    return earliest;
+}
+
+// ---------------------------------------------------------------------
+// scheduler
+// ---------------------------------------------------------------------
+
+bool
+Kernel::step_round()
+{
+    any_progress_ = false;
+    // Snapshot pids: syscalls may spawn (or kill) during the walk.
+    std::vector<int> pids;
+    pids.reserve(procs_.size());
+    for (const auto &[pid, proc] : procs_) {
+        pids.push_back(pid);
+    }
+    for (int pid : pids) {
+        auto it = procs_.find(pid);
+        if (it == procs_.end()) {
+            continue;
+        }
+        Process &proc = *it->second;
+        if (proc.state == ProcState::kDead) {
+            continue;
+        }
+        if (proc.state == ProcState::kBlocked) {
+            // Retry the in-flight syscall.
+            if (handle_syscall(proc)) {
+                any_progress_ = true;
+            }
+            continue;
+        }
+        // Runnable: execute a quantum.
+        uint64_t before_cycles = proc.cpu->cycles();
+        uint64_t before_instrs = proc.cpu->instructions();
+        vm::CpuExit exit = proc.cpu->run(quantum_);
+        charge(proc.cpu->cycles() - before_cycles);
+        stats_.user_instructions +=
+            proc.cpu->instructions() - before_instrs;
+        if (proc.cpu->instructions() != before_instrs) {
+            any_progress_ = true;
+        }
+
+        switch (exit.kind) {
+          case vm::ExitKind::kInstrBudget:
+            break;
+          case vm::ExitKind::kLtrap: {
+            // Pop the return address pushed by the user's call into
+            // the trampoline and validate it (paper §6).
+            uint64_t ret = 0;
+            uint64_t sp = proc.cpu->sp();
+            if (proc.space->read_raw(sp, &ret, 8) !=
+                vm::AccessFault::kNone) {
+                proc.last_fault = vm::FaultKind::kPageFault;
+                proc.last_fault_addr = sp;
+                kill_process(proc, DeathCause::kFault, -1);
+                break;
+            }
+            proc.cpu->set_sp(sp + 8);
+            Status valid = validate_syscall_return(proc, ret);
+            if (!valid.ok()) {
+                proc.last_fault = vm::FaultKind::kBoundRange;
+                proc.last_fault_addr = ret;
+                kill_process(proc, DeathCause::kFault, -1);
+                break;
+            }
+            proc.in_syscall = true;
+            proc.sys_num = proc.cpu->reg(0);
+            for (int i = 0; i < 5; ++i) {
+                proc.sys_args[i] = proc.cpu->reg(1 + i);
+            }
+            proc.sys_ret_addr = ret;
+            ++stats_.syscalls;
+            charge(syscall_cost());
+            handle_syscall(proc);
+            break;
+          }
+          case vm::ExitKind::kPrivileged:
+            proc.last_fault = vm::FaultKind::kInvalidInstr;
+            proc.last_fault_addr = exit.rip;
+            kill_process(proc, DeathCause::kPrivileged, -2);
+            break;
+          case vm::ExitKind::kFault:
+            proc.last_fault = exit.fault;
+            proc.last_fault_addr = exit.fault_addr;
+            kill_process(proc, DeathCause::kFault, -1);
+            break;
+        }
+    }
+    return any_progress_;
+}
+
+void
+Kernel::run(bool allow_idle)
+{
+    while (!all_exited()) {
+        if (step_round()) {
+            continue;
+        }
+        uint64_t wake = next_wake_time();
+        if (wake != ~0ull && wake > clock_->cycles()) {
+            clock_->advance(wake - clock_->cycles());
+            continue;
+        }
+        if (wake == ~0ull) {
+            if (allow_idle) {
+                return;
+            }
+            OCC_PANIC("kernel deadlock: all processes blocked forever");
+        }
+        // wake <= now but no progress: one more round handles it; if
+        // this persists the predicates are wrong.
+        if (!step_round()) {
+            if (allow_idle) {
+                return;
+            }
+            OCC_PANIC("kernel livelock: blocked with stale wake times");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// syscalls
+// ---------------------------------------------------------------------
+
+bool
+Kernel::handle_syscall(Process &proc)
+{
+    OCC_CHECK(proc.in_syscall);
+    std::optional<int64_t> result =
+        dispatch(proc, proc.sys_num, proc.sys_args);
+    if (proc.state == ProcState::kDead) {
+        return true; // exit() or killed during dispatch
+    }
+    if (!result) {
+        proc.state = ProcState::kBlocked;
+        return false;
+    }
+    proc.in_syscall = false;
+    proc.state = ProcState::kRunnable;
+    proc.wake_time = ~0ull;
+    proc.cpu->set_reg(0, static_cast<uint64_t>(*result));
+    proc.cpu->set_rip(proc.sys_ret_addr);
+    return true;
+}
+
+std::optional<int64_t>
+Kernel::dispatch(Process &proc, uint64_t num, const uint64_t args[5])
+{
+    auto file_of = [&](uint64_t fd) -> FilePtr {
+        auto it = proc.fds.find(static_cast<int>(fd));
+        return it == proc.fds.end() ? nullptr : it->second;
+    };
+
+    switch (static_cast<Sys>(num)) {
+      case Sys::kExit:
+        kill_process(proc, DeathCause::kExited,
+                     static_cast<int64_t>(args[0]));
+        return 0;
+
+      case Sys::kWrite:
+      case Sys::kRead: {
+        FilePtr file = file_of(args[0]);
+        if (!file) return neg_errno(ErrorCode::kBadF);
+        uint64_t buf = args[1];
+        uint64_t len = std::min<uint64_t>(args[2], 1 << 20);
+        if (len == 0) return 0;
+        Bytes tmp(len);
+        if (static_cast<Sys>(num) == Sys::kWrite) {
+            if (!copy_from_user(proc, buf, tmp.data(), len).ok()) {
+                return neg_errno(ErrorCode::kFault);
+            }
+            IoResult r = file->write(*this, tmp.data(), len);
+            if (r.would_block) {
+                proc.wake_time = r.wake_time;
+                return std::nullopt;
+            }
+            return r.value;
+        }
+        IoResult r = file->read(*this, tmp.data(), len);
+        if (r.would_block) {
+            proc.wake_time = r.wake_time;
+            return std::nullopt;
+        }
+        if (r.value > 0) {
+            if (!copy_to_user(proc, buf, tmp.data(),
+                              static_cast<uint64_t>(r.value))
+                     .ok()) {
+                return neg_errno(ErrorCode::kFault);
+            }
+        }
+        return r.value;
+      }
+
+      case Sys::kOpen: {
+        auto path = read_user_string(proc, args[0], args[1]);
+        if (!path.ok()) return neg_errno(path.error().code);
+        auto file = fs_open(proc, path.value(), args[2]);
+        if (!file.ok()) return neg_errno(file.error().code);
+        int fd = proc.alloc_fd();
+        file.value()->on_fd_acquire();
+        proc.fds[fd] = file.take();
+        return fd;
+      }
+
+      case Sys::kClose: {
+        auto it = proc.fds.find(static_cast<int>(args[0]));
+        if (it == proc.fds.end()) return neg_errno(ErrorCode::kBadF);
+        it->second->on_fd_release(*this);
+        proc.fds.erase(it);
+        return 0;
+      }
+
+      case Sys::kSpawn: {
+        auto path = read_user_string(proc, args[0], args[1]);
+        if (!path.ok()) return neg_errno(path.error().code);
+        uint64_t argv_ptr = args[2];
+        uint64_t argc = std::min<uint64_t>(args[3], 32);
+        std::vector<std::string> argv;
+        for (uint64_t i = 0; i < argc; ++i) {
+            uint64_t str_ptr = 0;
+            if (!copy_from_user(proc, argv_ptr + 8 * i, &str_ptr, 8)
+                     .ok()) {
+                return neg_errno(ErrorCode::kFault);
+            }
+            auto arg = read_user_cstring(proc, str_ptr);
+            if (!arg.ok()) return neg_errno(arg.error().code);
+            argv.push_back(arg.take());
+        }
+        if (argv.empty()) {
+            argv.push_back(path.value());
+        }
+        std::array<int64_t, 3> stdio = {-1, -1, -1};
+        bool have_stdio = false;
+        if (args[4] != 0) {
+            int64_t raw[3];
+            if (!copy_from_user(proc, args[4], raw, sizeof(raw)).ok()) {
+                return neg_errno(ErrorCode::kFault);
+            }
+            stdio = {raw[0], raw[1], raw[2]};
+            have_stdio = true;
+        }
+        auto pid = this->spawn(path.value(), argv, proc.pid,
+                               have_stdio ? &stdio : nullptr);
+        if (!pid.ok()) return neg_errno(pid.error().code);
+        return pid.value();
+      }
+
+      case Sys::kWaitPid: {
+        int pid = static_cast<int>(args[0]);
+        auto it = reaped_.find(pid);
+        if (it != reaped_.end()) {
+            return it->second.code;
+        }
+        if (!procs_.count(pid)) {
+            return neg_errno(ErrorCode::kChild);
+        }
+        proc.wake_time = ~0ull; // woken by the death (next round)
+        return std::nullopt;
+      }
+
+      case Sys::kGetPid:
+        return proc.pid;
+
+      case Sys::kPipe: {
+        auto pipe = std::make_shared<Pipe>();
+        auto read_end = std::make_shared<PipeEnd>(pipe, true);
+        auto write_end = std::make_shared<PipeEnd>(pipe, false);
+        int rfd = proc.alloc_fd();
+        int wfd = proc.alloc_fd();
+        read_end->on_fd_acquire();
+        write_end->on_fd_acquire();
+        proc.fds[rfd] = read_end;
+        proc.fds[wfd] = write_end;
+        int64_t fds[2] = {rfd, wfd};
+        if (!copy_to_user(proc, args[0], fds, sizeof(fds)).ok()) {
+            return neg_errno(ErrorCode::kFault);
+        }
+        return 0;
+      }
+
+      case Sys::kDup2: {
+        FilePtr file = file_of(args[0]);
+        if (!file) return neg_errno(ErrorCode::kBadF);
+        int newfd = static_cast<int>(args[1]);
+        auto old = proc.fds.find(newfd);
+        if (old != proc.fds.end()) {
+            old->second->on_fd_release(*this);
+        }
+        file->on_fd_acquire();
+        proc.fds[newfd] = file;
+        return newfd;
+      }
+
+      case Sys::kLseek: {
+        FilePtr file = file_of(args[0]);
+        if (!file) return neg_errno(ErrorCode::kBadF);
+        auto pos = file->seek(static_cast<int64_t>(args[1]),
+                              static_cast<int>(args[2]));
+        if (!pos.ok()) return neg_errno(pos.error().code);
+        return pos.value();
+      }
+
+      case Sys::kUnlink: {
+        auto path = read_user_string(proc, args[0], args[1]);
+        if (!path.ok()) return neg_errno(path.error().code);
+        Status status = fs_unlink(path.value());
+        return status.ok() ? 0 : neg_errno(status.code());
+      }
+
+      case Sys::kMkdir: {
+        auto path = read_user_string(proc, args[0], args[1]);
+        if (!path.ok()) return neg_errno(path.error().code);
+        Status status = fs_mkdir(path.value());
+        return status.ok() ? 0 : neg_errno(status.code());
+      }
+
+      case Sys::kMmap: {
+        uint64_t len = (args[0] + vm::kPageMask) & ~vm::kPageMask;
+        if (len == 0) return neg_errno(ErrorCode::kInval);
+        uint64_t addr = (proc.mmap_cursor + vm::kPageMask) &
+                        ~vm::kPageMask;
+        if (addr + len > proc.mmap_end) {
+            return neg_errno(ErrorCode::kNoMem);
+        }
+        // Domain/process memory is mapped eagerly at load time (the
+        // SGX 1.0 preallocation, paper §6); mmap hands out ranges and
+        // zero-fills them.
+        if (!proc.space->is_mapped(addr, len)) {
+            Status status = proc.space->map(addr, len, vm::kPermRW);
+            if (!status.ok()) return neg_errno(status.code());
+        } else {
+            proc.space->zero_raw(addr, len);
+        }
+        charge(mmap_zero_cost(len));
+        proc.mmap_cursor = addr + len;
+        return static_cast<int64_t>(addr);
+      }
+
+      case Sys::kMunmap:
+        // Bump allocation: a real free list is unnecessary for the
+        // workloads; munmap succeeds without reclaiming.
+        return 0;
+
+      case Sys::kTime:
+        return static_cast<int64_t>(clock_->nanos());
+
+      case Sys::kKill: {
+        auto it = procs_.find(static_cast<int>(args[0]));
+        if (it == procs_.end() ||
+            it->second->state == ProcState::kDead) {
+            return neg_errno(ErrorCode::kSrch);
+        }
+        kill_process(*it->second, DeathCause::kKilled,
+                     -static_cast<int64_t>(args[1]));
+        return 0;
+      }
+
+      case Sys::kYield:
+        return 0;
+
+      case Sys::kFstatSize: {
+        FilePtr file = file_of(args[0]);
+        if (!file) return neg_errno(ErrorCode::kBadF);
+        int64_t size = file->size();
+        if (size < 0) return neg_errno(ErrorCode::kInval);
+        return size;
+      }
+
+      case Sys::kFsync: {
+        FilePtr file = file_of(args[0]);
+        if (!file) return neg_errno(ErrorCode::kBadF);
+        Status status = file->fsync(*this);
+        return status.ok() ? 0 : neg_errno(status.code());
+      }
+
+      case Sys::kSockListen: {
+        if (!net_) return neg_errno(ErrorCode::kNoSys);
+        uint16_t port = static_cast<uint16_t>(args[0]);
+        if (!net_->listen(port, static_cast<int>(args[1]))) {
+            return neg_errno(ErrorCode::kBusy);
+        }
+        int fd = proc.alloc_fd();
+        auto listener = std::make_shared<ListenerFile>(net_, port);
+        listener->on_fd_acquire();
+        proc.fds[fd] = listener;
+        return fd;
+      }
+
+      case Sys::kSockAccept: {
+        if (!net_) return neg_errno(ErrorCode::kNoSys);
+        FilePtr file = file_of(args[0]);
+        auto *listener = dynamic_cast<ListenerFile *>(file.get());
+        if (!listener) return neg_errno(ErrorCode::kBadF);
+        host::NetSim::Connection *conn =
+            net_->try_accept(listener->port(), clock_->cycles());
+        if (!conn) {
+            proc.wake_time = net_->next_accept_time(listener->port());
+            return std::nullopt;
+        }
+        charge(CostModel::kNetAcceptCycles);
+        int fd = proc.alloc_fd();
+        auto sock = std::make_shared<SocketFile>(net_, conn, true);
+        sock->on_fd_acquire();
+        proc.fds[fd] = sock;
+        return fd;
+      }
+
+      case Sys::kSockConnect: {
+        if (!net_) return neg_errno(ErrorCode::kNoSys);
+        auto conn = net_->connect(static_cast<uint16_t>(args[0]));
+        if (!conn.ok()) return neg_errno(conn.error().code);
+        int fd = proc.alloc_fd();
+        auto sock = std::make_shared<SocketFile>(net_, conn.value(),
+                                                 false);
+        sock->on_fd_acquire();
+        proc.fds[fd] = sock;
+        return fd;
+      }
+
+      case Sys::kSockSend:
+      case Sys::kSockRecv: {
+        FilePtr file = file_of(args[0]);
+        if (!file) return neg_errno(ErrorCode::kBadF);
+        uint64_t buf = args[1];
+        uint64_t len = std::min<uint64_t>(args[2], 1 << 20);
+        Bytes tmp(len);
+        if (static_cast<Sys>(num) == Sys::kSockSend) {
+            if (!copy_from_user(proc, buf, tmp.data(), len).ok()) {
+                return neg_errno(ErrorCode::kFault);
+            }
+            IoResult r = file->write(*this, tmp.data(), len);
+            if (r.would_block) {
+                proc.wake_time = r.wake_time;
+                return std::nullopt;
+            }
+            return r.value;
+        }
+        IoResult r = file->read(*this, tmp.data(), len);
+        if (r.would_block) {
+            proc.wake_time = r.wake_time;
+            return std::nullopt;
+        }
+        if (r.value > 0) {
+            if (!copy_to_user(proc, buf, tmp.data(),
+                              static_cast<uint64_t>(r.value))
+                     .ok()) {
+                return neg_errno(ErrorCode::kFault);
+            }
+        }
+        return r.value;
+      }
+
+      case Sys::kGetArg: {
+        uint64_t index = args[0];
+        if (index >= proc.argv.size()) {
+            return neg_errno(ErrorCode::kInval);
+        }
+        const std::string &arg = proc.argv[index];
+        uint64_t cap = args[2];
+        uint64_t n = std::min<uint64_t>(arg.size() + 1, cap);
+        if (n > 0 &&
+            !copy_to_user(proc, args[1], arg.c_str(), n).ok()) {
+            return neg_errno(ErrorCode::kFault);
+        }
+        return static_cast<int64_t>(arg.size());
+      }
+
+      case Sys::kCount:
+        break;
+    }
+    return neg_errno(ErrorCode::kNoSys);
+}
+
+} // namespace occlum::oskit

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * The shared kernel core: process table, deterministic round-robin
+ * scheduler, blocking syscall machinery, and the syscall dispatch
+ * that every OS personality (Linux model, Occlum LibOS, EIP/Graphene
+ * baseline) plugs into.
+ *
+ * Personalities differ in:
+ *  - how processes are created and where their memory lives (per-
+ *    process address spaces vs. domains in one shared enclave),
+ *  - the cost of a syscall round trip (native trap vs. in-enclave
+ *    function call vs. OCALL with two world switches),
+ *  - the file system behind open() (plain host FS vs. writable
+ *    encrypted FS vs. read-only protected files),
+ *  - extra costs on IPC (the EIP baseline encrypts pipe traffic
+ *    through untrusted memory, paper §3.2),
+ *  - syscall-return validation (the Occlum LibOS checks the return
+ *    target is a cfi_label of the calling SIP, paper §6).
+ */
+#ifndef OCCLUM_OSKIT_KERNEL_H
+#define OCCLUM_OSKIT_KERNEL_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "base/sim_clock.h"
+#include "oelf/abi.h"
+#include "oskit/file_object.h"
+#include "vm/cpu.h"
+
+namespace occlum::oskit {
+
+/** Why a process stopped for good. */
+enum class DeathCause {
+    kNone,       // still alive
+    kExited,     // called exit()
+    kFault,      // memory/bound/decode fault (killed by the kernel)
+    kPrivileged, // executed a privileged instruction
+    kKilled,     // kill() by another process
+};
+
+/** Scheduler state of a process. */
+enum class ProcState {
+    kRunnable,
+    kBlocked,
+    kDead,
+};
+
+/** One process (a SIP under Occlum; a full enclave under EIP). */
+struct Process {
+    int pid = 0;
+    ProcState state = ProcState::kRunnable;
+    DeathCause death = DeathCause::kNone;
+    int64_t exit_code = 0;
+    vm::FaultKind last_fault = vm::FaultKind::kNone;
+    uint64_t last_fault_addr = 0;
+
+    /** CPU + memory; both owned by the personality's process record. */
+    vm::Cpu *cpu = nullptr;
+    vm::AddressSpace *space = nullptr;
+
+    std::map<int, FilePtr> fds;
+    int next_fd = 3;
+
+    std::vector<std::string> argv;
+
+    /** Owned resources for per-process-space personalities. */
+    std::unique_ptr<vm::AddressSpace> owned_space;
+    std::unique_ptr<vm::Cpu> owned_cpu;
+
+    /** Domain geometry (used by Occlum; Linux uses it for the PCB). */
+    uint64_t domain_base = 0;
+    uint64_t d_begin = 0; // data region begin
+    uint64_t d_end = 0;   // data region end (exclusive)
+
+    /** mmap bump area inside the heap. */
+    uint64_t mmap_cursor = 0;
+    uint64_t mmap_end = 0;
+
+    /** Earliest time a blocked process should retry (cycles). */
+    uint64_t wake_time = ~0ull;
+
+    /** In-flight (possibly blocked) syscall state. */
+    bool in_syscall = false;
+    uint64_t sys_num = 0;
+    uint64_t sys_args[5] = {};
+    uint64_t sys_ret_addr = 0;
+
+    int
+    alloc_fd()
+    {
+        return next_fd++;
+    }
+};
+
+/** Post-mortem record kept after a process is reaped. */
+struct DeathRecord {
+    DeathCause cause = DeathCause::kNone;
+    int64_t code = 0;
+    vm::FaultKind fault = vm::FaultKind::kNone;
+    uint64_t fault_addr = 0;
+};
+
+/** Aggregate execution statistics. */
+struct KernelStats {
+    uint64_t spawns = 0;
+    uint64_t syscalls = 0;
+    uint64_t user_instructions = 0;
+    uint64_t faults = 0;
+};
+
+/** The shared kernel. Subclass per OS personality. */
+class Kernel
+{
+  public:
+    Kernel(SimClock &clock, host::HostFileStore &binaries,
+           host::NetSim *net = nullptr)
+        : clock_(&clock), binaries_(&binaries), net_(net)
+    {}
+    virtual ~Kernel() = default;
+
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    // ---- public control --------------------------------------------
+    /**
+     * Start a new process running `path` with `argv` (argv[0] is the
+     * program name by convention). stdio_fds, when given, maps the
+     * child's fds 0..2 from the *parent_pid* process's descriptors;
+     * parent_pid < 0 takes stdio from the console.
+     */
+    Result<int> spawn(const std::string &path,
+                      const std::vector<std::string> &argv,
+                      int parent_pid = -1,
+                      const std::array<int64_t, 3> *stdio_fds = nullptr);
+
+    /**
+     * Run one scheduler round over all processes. Returns true if any
+     * process made progress (executed instructions or completed a
+     * syscall). When false, callers may advance the clock to
+     * next_wake_time() or conclude the system is idle.
+     */
+    bool step_round();
+
+    /**
+     * Run until every process is dead, advancing the clock over
+     * blocking waits. Panics on deadlock (all blocked forever) after
+     * diagnosing, unless `allow_idle` is set, in which case it
+     * returns with processes still blocked (e.g. a server waiting
+     * for outside traffic).
+     */
+    void run(bool allow_idle = false);
+
+    bool all_exited() const;
+    /** Earliest known wake time over all blocked processes (~0=none). */
+    uint64_t next_wake_time() const;
+
+    Result<int64_t> exit_code(int pid) const;
+    /** Full post-mortem info (cause, fault kind) for a dead pid. */
+    Result<DeathRecord> death_record(int pid) const;
+    const Process *find_process(int pid) const;
+
+    SimClock &clock() { return *clock_; }
+    const std::string &console() const { return console_; }
+    void clear_console() { console_.clear(); }
+    const KernelStats &stats() const { return stats_; }
+    host::NetSim *net() { return net_; }
+    host::HostFileStore &binaries() { return *binaries_; }
+
+    /** Instructions per scheduling quantum. */
+    void set_quantum(uint64_t quantum) { quantum_ = quantum; }
+
+    // ---- personality hooks --------------------------------------------
+  protected:
+    /** Create the process record: memory, CPU, loaded image, PCB. */
+    virtual Result<std::unique_ptr<Process>>
+    create_process(const std::string &path,
+                   const std::vector<std::string> &argv) = 0;
+
+    /** Tear down personality resources (e.g. free the domain slot). */
+    virtual void destroy_process(Process &proc) = 0;
+
+    /** Cycles charged on every syscall entry/exit round trip. */
+    virtual uint64_t syscall_cost() const = 0;
+
+    /** Open a path on the personality's file system. */
+    virtual Result<FilePtr> fs_open(Process &proc, const std::string &path,
+                                    uint64_t flags) = 0;
+    virtual Status fs_unlink(const std::string &path) = 0;
+    virtual Status fs_mkdir(const std::string &path) = 0;
+
+  public:
+    /** Per-byte cycles for moving pipe data (EIP adds crypto). */
+    virtual double pipe_byte_cost() const
+    {
+        return CostModel::kPipeCopyCyclesPerByte;
+    }
+
+    /** Extra cycles per pipe operation (EIP: two world switches). */
+    virtual uint64_t pipe_op_cost() const { return 0; }
+
+    /** Extra cycles per network operation (enclaves: an OCALL). */
+    virtual uint64_t net_op_cost() const { return 0; }
+
+  protected:
+
+    /**
+     * Validate the syscall return target popped off the user stack.
+     * The Occlum LibOS enforces that it is a cfi_label of the calling
+     * SIP (paper §6); others accept anything.
+     */
+    virtual Status
+    validate_syscall_return(Process &proc, uint64_t target)
+    {
+        (void)proc;
+        (void)target;
+        return Status();
+    }
+
+    /** Zero-fill cost for anonymous mmap (Occlum does it manually). */
+    virtual uint64_t mmap_zero_cost(uint64_t len) const
+    {
+        (void)len;
+        return 0;
+    }
+
+    /**
+     * Check a user buffer is legal for the calling process. Occlum
+     * confines it to the SIP's own data region — a malicious SIP must
+     * not use the LibOS as a deputy to read other SIPs' memory.
+     */
+    virtual Status validate_user_range(Process &proc, uint64_t addr,
+                                       uint64_t len);
+
+    // ---- helpers available to personalities -----------------------------
+  public:
+    void charge(uint64_t cycles) { clock_->advance(cycles); }
+
+    /** Copy data out of / into a process's memory (EFAULT checked). */
+    Status copy_from_user(Process &proc, uint64_t addr, void *out,
+                          uint64_t len);
+    Status copy_to_user(Process &proc, uint64_t addr, const void *in,
+                        uint64_t len);
+    /** Read a NUL-terminated or length-prefixed string. */
+    Result<std::string> read_user_string(Process &proc, uint64_t addr,
+                                         uint64_t len);
+    Result<std::string> read_user_cstring(Process &proc, uint64_t addr,
+                                          uint64_t max_len = 4096);
+
+    /** Kill a process (fault/violation path). */
+    void kill_process(Process &proc, DeathCause cause, int64_t code);
+
+  protected:
+    /** Handle one ltrap syscall; true if it completed (not blocked). */
+    bool handle_syscall(Process &proc);
+
+    /** Dispatch by number; nullopt = would block (retry later). */
+    std::optional<int64_t> dispatch(Process &proc, uint64_t num,
+                                    const uint64_t args[5]);
+
+    SimClock *clock_;
+    host::HostFileStore *binaries_;
+    host::NetSim *net_;
+    std::map<int, std::unique_ptr<Process>> procs_;
+    std::map<int, DeathRecord> reaped_;
+    int next_pid_ = 1;
+    uint64_t quantum_ = 20000;
+    std::string console_;
+    KernelStats stats_;
+    /** Processes whose blocked syscall should be retried. */
+    bool any_progress_ = false;
+};
+
+} // namespace occlum::oskit
+
+#endif // OCCLUM_OSKIT_KERNEL_H

@@ -1,0 +1,188 @@
+#include "sgx/sgx.h"
+
+#include <cstring>
+
+namespace occlum::sgx {
+
+namespace {
+
+/** Digest of a 4 KiB zero page, computed once (see header note). */
+const crypto::Sha256Digest &
+zero_page_digest()
+{
+    static const crypto::Sha256Digest digest = [] {
+        Bytes zeros(vm::kPageSize, 0);
+        return crypto::Sha256::digest(zeros);
+    }();
+    return digest;
+}
+
+} // namespace
+
+Status
+Platform::reserve_epc(uint64_t bytes)
+{
+    if (epc_used_ + bytes > epc_capacity_) {
+        return Status(ErrorCode::kNoMem, "EPC exhausted");
+    }
+    epc_used_ += bytes;
+    return Status();
+}
+
+void
+Platform::release_epc(uint64_t bytes)
+{
+    OCC_CHECK(bytes <= epc_used_);
+    epc_used_ -= bytes;
+}
+
+Enclave::Enclave(Platform &platform, uint64_t base, uint64_t size)
+    : platform_(&platform), base_(base), size_(size)
+{
+    OCC_CHECK_MSG((base & vm::kPageMask) == 0 &&
+                  (size & vm::kPageMask) == 0,
+                  "enclave range must be page aligned");
+    charge(CostModel::kEnclaveCreateFixedCycles);
+    // Measure the ECREATE parameters.
+    Bytes header;
+    put_le<uint64_t>(header, base);
+    put_le<uint64_t>(header, size);
+    measuring_.update(header);
+}
+
+Enclave::~Enclave()
+{
+    platform_->release_epc(reserved_bytes_);
+}
+
+Status
+Enclave::add_pages(uint64_t vaddr, uint64_t len, uint8_t perms,
+                   const Bytes &content)
+{
+    if (initialized_) {
+        return Status(ErrorCode::kPerm,
+                      "SGX1: cannot add pages after EINIT");
+    }
+    if ((vaddr & vm::kPageMask) || (len & vm::kPageMask) || len == 0) {
+        return Status(ErrorCode::kInval, "EADD: unaligned range");
+    }
+    if (vaddr < base_ || vaddr + len > base_ + size_) {
+        return Status(ErrorCode::kInval, "EADD: outside enclave range");
+    }
+    if (content.size() > len) {
+        return Status(ErrorCode::kInval, "EADD: content longer than range");
+    }
+    OCC_RETURN_IF_ERROR(platform_->reserve_epc(len));
+    reserved_bytes_ += len;
+
+    OCC_RETURN_IF_ERROR(mem_.map(vaddr, len, perms));
+    if (!content.empty()) {
+        OCC_CHECK(mem_.write_raw(vaddr, content.data(), content.size()) ==
+                  vm::AccessFault::kNone);
+    }
+
+    // EEXTEND: measure page metadata plus contents.
+    uint64_t pages = len / vm::kPageSize;
+    for (uint64_t i = 0; i < pages; ++i) {
+        uint64_t page_vaddr = vaddr + i * vm::kPageSize;
+        Bytes meta;
+        put_le<uint64_t>(meta, page_vaddr);
+        meta.push_back(perms);
+        measuring_.update(meta);
+
+        uint64_t content_off = i * vm::kPageSize;
+        if (content_off >= content.size()) {
+            // Whole page is zeros: fold the cached zero-page digest.
+            measuring_.update(zero_page_digest().data(),
+                              zero_page_digest().size());
+        } else {
+            uint8_t page[vm::kPageSize];
+            OCC_CHECK(mem_.read_raw(page_vaddr, page, vm::kPageSize) ==
+                      vm::AccessFault::kNone);
+            crypto::Sha256Digest d =
+                crypto::Sha256::digest(page, vm::kPageSize);
+            measuring_.update(d.data(), d.size());
+        }
+    }
+    added_pages_ += pages;
+    charge(pages * CostModel::kEaddEextendCyclesPerPage);
+    return Status();
+}
+
+Status
+Enclave::measure_reserved(uint64_t len)
+{
+    if (initialized_) {
+        return Status(ErrorCode::kPerm,
+                      "SGX1: cannot add pages after EINIT");
+    }
+    if (len & vm::kPageMask) {
+        return Status(ErrorCode::kInval, "unaligned reserve");
+    }
+    uint64_t pages = len / vm::kPageSize;
+    for (uint64_t i = 0; i < pages; ++i) {
+        Bytes meta;
+        put_le<uint64_t>(meta, ~0ull); // anonymous reserve page
+        meta.push_back(vm::kPermRW);
+        measuring_.update(meta);
+        measuring_.update(zero_page_digest().data(),
+                          zero_page_digest().size());
+    }
+    added_pages_ += pages;
+    charge(pages * CostModel::kEaddEextendCyclesPerPage);
+    return Status();
+}
+
+Status
+Enclave::init()
+{
+    if (initialized_) {
+        return Status(ErrorCode::kPerm, "EINIT: already initialized");
+    }
+    measurement_ = measuring_.finish();
+    initialized_ = true;
+    return Status();
+}
+
+Status
+Enclave::runtime_protect(uint64_t vaddr, uint64_t len, uint8_t perms)
+{
+    if (initialized_) {
+        return Status(ErrorCode::kPerm,
+                      "SGX1: page permissions are frozen after EINIT");
+    }
+    return mem_.protect(vaddr, len, perms);
+}
+
+Report
+Enclave::create_report(const Bytes &user_data) const
+{
+    OCC_CHECK_MSG(initialized_, "EREPORT before EINIT");
+    Report report;
+    report.measurement = measurement_;
+    std::memcpy(report.user_data.data(), user_data.data(),
+                std::min(user_data.size(), report.user_data.size()));
+    Bytes payload(report.measurement.begin(), report.measurement.end());
+    payload.insert(payload.end(), report.user_data.begin(),
+                   report.user_data.end());
+    report.mac = crypto::hmac_sha256(platform_->report_key().data(),
+                                     platform_->report_key().size(),
+                                     payload.data(), payload.size());
+    platform_->clock().advance(CostModel::kLocalAttestCycles);
+    return report;
+}
+
+bool
+Enclave::verify_report(const Platform &platform, const Report &report)
+{
+    Bytes payload(report.measurement.begin(), report.measurement.end());
+    payload.insert(payload.end(), report.user_data.begin(),
+                   report.user_data.end());
+    crypto::Sha256Digest expect =
+        crypto::hmac_sha256(platform.report_key().data(),
+                            platform.report_key().size(), payload.data(),
+                            payload.size());
+    return crypto::digest_equal(expect, report.mac);
+}
+
+} // namespace occlum::sgx

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * MiniC front-end internals: tokens, AST, lexer and parser entry
+ * points. Internal to the toolchain library; users include minic.h.
+ */
+#ifndef OCCLUM_TOOLCHAIN_AST_H
+#define OCCLUM_TOOLCHAIN_AST_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace occlum::toolchain {
+
+/** Token kinds. Punctuation/keywords carry their spelling in text. */
+enum class Tok {
+    kEof,
+    kNumber,
+    kIdent,
+    kString,
+    kKeyword, // global func var if else while for return break continue
+              // int byte
+    kPunct,   // operators and separators
+};
+
+struct Token {
+    Tok kind = Tok::kEof;
+    std::string text;
+    int64_t value = 0;
+    int line = 0;
+};
+
+/** Tokenize; fails on malformed literals or stray characters. */
+Result<std::vector<Token>> lex(const std::string &source);
+
+// ---- AST ----------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+    kNumber,  // num
+    kVar,     // name (scalar read, or array base address decay)
+    kIndex,   // name[lhs]
+    kUnary,   // op lhs
+    kBinary,  // lhs op rhs
+    kCall,    // name(args...)
+    kString,  // string literal (address value)
+};
+
+struct Expr {
+    ExprKind kind;
+    int line = 0;
+    int64_t num = 0;
+    std::string name; // variable / function / operator spelling
+    std::string op;
+    ExprPtr lhs;
+    ExprPtr rhs;
+    std::vector<ExprPtr> args;
+    std::string str; // string literal bytes
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind {
+    kVarDecl,    // var name [= a] / var name[array_size]
+    kAssign,     // name = a
+    kIndexAssign,// name[a] = b
+    kIf,         // cond=a, body, else_body
+    kWhile,      // cond=a, body
+    kFor,        // init, cond=a, step, body
+    kReturn,     // a (optional)
+    kBreak,
+    kContinue,
+    kExprStmt,   // a
+};
+
+struct Stmt {
+    StmtKind kind;
+    int line = 0;
+    std::string name;
+    bool is_array = false;
+    uint64_t array_size = 0;
+    ExprPtr a;
+    ExprPtr b;
+    StmtPtr init; // for
+    StmtPtr step; // for
+    std::vector<StmtPtr> body;
+    std::vector<StmtPtr> else_body;
+};
+
+struct GlobalDecl {
+    std::string name;
+    bool is_byte = false;
+    uint64_t count = 1; // elements (bytes for byte arrays, words for int)
+    bool is_array = false;
+    std::vector<int64_t> init; // optional initializers
+    std::string init_string;   // for byte arrays initialized from string
+    int line = 0;
+};
+
+struct Func {
+    std::string name;
+    std::vector<std::string> params;
+    std::vector<StmtPtr> body;
+    int line = 0;
+};
+
+struct Program {
+    std::vector<GlobalDecl> globals;
+    std::vector<Func> funcs;
+};
+
+/** Parse MiniC source into an AST. */
+Result<Program> parse(const std::string &source);
+
+} // namespace occlum::toolchain
+
+#endif // OCCLUM_TOOLCHAIN_AST_H

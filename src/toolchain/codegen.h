@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Toolchain internals: the assembly-item IR that sits between the
+ * code generator and the final Assembler pass, plus the MMDSFI
+ * instrumentation-optimizer entry point (paper §4.3).
+ */
+#ifndef OCCLUM_TOOLCHAIN_CODEGEN_H
+#define OCCLUM_TOOLCHAIN_CODEGEN_H
+
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+#include "toolchain/minic.h"
+
+namespace occlum::toolchain {
+
+/**
+ * One element of the pre-assembly instruction stream. Either a label
+ * bind or an instruction; instructions may carry symbolic references
+ * resolved by the Assembler (branch targets, address-of, rip-relative
+ * data symbols).
+ */
+struct AsmItem {
+    enum class Kind { kInstr, kBind };
+
+    Kind kind = Kind::kInstr;
+    isa::Instruction instr;
+    std::string bind_name;  // kBind
+    std::string branch_ref; // direct jmp/jcc/call target
+    std::string addr_ref;   // mov_ri <label address>
+    std::string mem_ref;    // rip-relative operand target
+    /**
+     * >= 0 marks a removable mem_guard check (a bndcl/bndcu pair
+     * shares one group id); the optimizer may delete both members.
+     */
+    int guard_group = -1;
+};
+
+/**
+ * Redundant-check elimination (paper §4.3 optimization 1): deletes
+ * mem_guards whose effective address is provably within a guard-sized
+ * window of an address already validated earlier in the same basic
+ * block. Returns the number of guard *pairs* removed.
+ */
+uint64_t eliminate_redundant_guards(std::vector<AsmItem> &items);
+
+} // namespace occlum::toolchain
+
+#endif // OCCLUM_TOOLCHAIN_CODEGEN_H

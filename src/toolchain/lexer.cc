@@ -1,0 +1,189 @@
+#include "toolchain/ast.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <set>
+
+namespace occlum::toolchain {
+
+namespace {
+
+const std::set<std::string> kKeywords = {
+    "global", "func", "var", "if", "else", "while", "for",
+    "return", "break", "continue", "int", "byte",
+};
+
+/** Multi-character operators, longest first. */
+const char *kOps2[] = {"<<", ">>", "<=", ">=", "==", "!=", "&&", "||"};
+
+} // namespace
+
+Result<std::vector<Token>>
+lex(const std::string &source)
+{
+    std::vector<Token> out;
+    size_t i = 0;
+    int line = 1;
+    auto fail = [&](const std::string &why) -> Result<std::vector<Token>> {
+        return Error(ErrorCode::kInval,
+                     "lex error at line " + std::to_string(line) + ": " +
+                         why);
+    };
+
+    while (i < source.size()) {
+        char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Comments: // to end of line.
+        if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+            while (i < source.size() && source[i] != '\n') {
+                ++i;
+            }
+            continue;
+        }
+        Token tok;
+        tok.line = line;
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = i;
+            int base = 10;
+            if (c == '0' && i + 1 < source.size() &&
+                (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+                base = 16;
+                i += 2;
+                start = i;
+            }
+            while (i < source.size() &&
+                   std::isalnum(static_cast<unsigned char>(source[i]))) {
+                ++i;
+            }
+            std::string digits = source.substr(start, i - start);
+            if (digits.empty()) {
+                return fail("empty numeric literal");
+            }
+            errno = 0;
+            char *end = nullptr;
+            uint64_t value = std::strtoull(digits.c_str(), &end, base);
+            if (end != digits.c_str() + digits.size()) {
+                return fail("bad numeric literal '" + digits + "'");
+            }
+            tok.kind = Tok::kNumber;
+            tok.value = static_cast<int64_t>(value);
+            tok.text = digits;
+            out.push_back(tok);
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t start = i;
+            while (i < source.size() &&
+                   (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                    source[i] == '_')) {
+                ++i;
+            }
+            tok.text = source.substr(start, i - start);
+            tok.kind = kKeywords.count(tok.text) ? Tok::kKeyword
+                                                 : Tok::kIdent;
+            out.push_back(tok);
+            continue;
+        }
+        if (c == '"') {
+            ++i;
+            std::string value;
+            while (i < source.size() && source[i] != '"') {
+                char ch = source[i];
+                if (ch == '\\' && i + 1 < source.size()) {
+                    ++i;
+                    switch (source[i]) {
+                      case 'n': ch = '\n'; break;
+                      case 't': ch = '\t'; break;
+                      case 'r': ch = '\r'; break;
+                      case '0': ch = '\0'; break;
+                      case '\\': ch = '\\'; break;
+                      case '"': ch = '"'; break;
+                      default:
+                        return fail("bad escape in string");
+                    }
+                }
+                if (ch == '\n') {
+                    ++line;
+                }
+                value.push_back(ch);
+                ++i;
+            }
+            if (i >= source.size()) {
+                return fail("unterminated string");
+            }
+            ++i; // closing quote
+            tok.kind = Tok::kString;
+            tok.text = value;
+            out.push_back(tok);
+            continue;
+        }
+        if (c == '\'') {
+            if (i + 2 < source.size() && source[i + 1] == '\\' &&
+                source[i + 3] == '\'') {
+                char ch;
+                switch (source[i + 2]) {
+                  case 'n': ch = '\n'; break;
+                  case 't': ch = '\t'; break;
+                  case '0': ch = '\0'; break;
+                  case '\\': ch = '\\'; break;
+                  case '\'': ch = '\''; break;
+                  default:
+                    return fail("bad character escape");
+                }
+                tok.kind = Tok::kNumber;
+                tok.value = ch;
+                i += 4;
+                out.push_back(tok);
+                continue;
+            }
+            if (i + 2 < source.size() && source[i + 2] == '\'') {
+                tok.kind = Tok::kNumber;
+                tok.value = source[i + 1];
+                i += 3;
+                out.push_back(tok);
+                continue;
+            }
+            return fail("bad character literal");
+        }
+        // Two-character operators.
+        bool matched = false;
+        for (const char *op : kOps2) {
+            if (source.compare(i, 2, op) == 0) {
+                tok.kind = Tok::kPunct;
+                tok.text = op;
+                i += 2;
+                out.push_back(tok);
+                matched = true;
+                break;
+            }
+        }
+        if (matched) {
+            continue;
+        }
+        if (std::string("+-*/%&|^~!<>=(){}[];,").find(c) !=
+            std::string::npos) {
+            tok.kind = Tok::kPunct;
+            tok.text = std::string(1, c);
+            ++i;
+            out.push_back(tok);
+            continue;
+        }
+        return fail(std::string("stray character '") + c + "'");
+    }
+    Token eof;
+    eof.kind = Tok::kEof;
+    eof.line = line;
+    out.push_back(eof);
+    return out;
+}
+
+} // namespace occlum::toolchain

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * MiniC: the source language of the Occlum toolchain reproduction.
+ *
+ * The real Occlum toolchain is LLVM 7 plus a modified LLD plus a
+ * patched musl (paper §8); applications are recompiled from C. Our
+ * substitute is a small C-like language that is rich enough to express
+ * every benchmark workload (shell utilities, a compile pipeline, an
+ * HTTP server, SPEC-like kernels) while keeping the compiler — and
+ * with it the *untrusted* portion of the TCB story (paper §5) — small.
+ *
+ * Language summary:
+ *   global int g;  global int a[N];  global byte buf[N];
+ *   func name(p1, p2) { ... }          // all values are int64
+ *   var x = e;  var arr[N];            // locals (arrays are N words)
+ *   x = e;  a[i] = e;  if/else, while, for, break, continue, return
+ *   operators: || && | ^ & == != < <= > >= << >> + - * / % ! ~ unary-
+ *   builtins:
+ *     wload(addr) wstore(addr, v)      // 64-bit memory access
+ *     bload(addr) bstore(addr, v)      // byte access
+ *     syscall(num, a1..a5)             // LibOS syscall (trailing args opt.)
+ *     heap_begin() heap_end() argc()   // PCB accessors
+ *     rdcycle()                        // simulated cycle counter
+ *   string literals evaluate to the address of a NUL-terminated byte
+ *   array in the data segment.
+ *
+ * A small stdlib written in MiniC (strlen, memcpy, print, itoa,
+ * malloc, ...) is prepended to every compilation unless disabled.
+ */
+#ifndef OCCLUM_TOOLCHAIN_MINIC_H
+#define OCCLUM_TOOLCHAIN_MINIC_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "oelf/oelf.h"
+
+namespace occlum::toolchain {
+
+/**
+ * Which MMDSFI instrumentation to apply (paper §4). The combinations
+ * drive the Fig. 7 benchmarks:
+ *   none ........................ baseline (Linux executor only)
+ *   cfi only .................... "confining control transfers"
+ *   cfi + stores ................ + "confining memory stores"
+ *   cfi + stores + loads ........ full MMDSFI
+ *   optimize .................... §4.3 range-analysis optimizations
+ */
+struct InstrumentOptions {
+    bool cfi = false;
+    bool guard_stores = false;
+    bool guard_loads = false;
+    bool optimize = false;
+
+    /** Full MMDSFI with optimizations: what Occlum binaries use. */
+    static InstrumentOptions
+    full()
+    {
+        return {true, true, true, true};
+    }
+
+    /** Full MMDSFI without the §4.3 optimizations. */
+    static InstrumentOptions
+    naive()
+    {
+        return {true, true, true, false};
+    }
+
+    /** No instrumentation at all (Linux-baseline binaries). */
+    static InstrumentOptions
+    none()
+    {
+        return {false, false, false, false};
+    }
+
+    bool
+    any() const
+    {
+        return cfi || guard_stores || guard_loads;
+    }
+};
+
+/** Tunables for the produced image. */
+struct CompileOptions {
+    InstrumentOptions instrument = InstrumentOptions::full();
+    uint64_t heap_size = 1 << 20;
+    uint64_t stack_size = 64 << 10;
+    bool with_stdlib = true;
+    /** Pad the code segment with trailing nops to reach this size
+     *  (used to synthesize large binaries like cc1 for Fig. 6a). */
+    uint64_t pad_code_to = 0;
+    /**
+     * Link-time code-region reservation (the fixed domain-slot
+     * geometry the Occlum LibOS preallocates under SGX 1.0). RIP-
+     * relative data displacements are computed against this.
+     */
+    uint64_t code_reserve = 1 << 20;
+};
+
+/** Instrumentation statistics (drives the Fig. 7b breakdown). */
+struct InstrumentStats {
+    uint64_t mem_guards_emitted = 0;
+    uint64_t mem_guards_elided_static = 0; // sp-/rip-relative, provably in D
+    uint64_t mem_guards_removed_redundant = 0;
+    uint64_t mem_guards_hoisted = 0;
+    uint64_t cfi_labels = 0;
+    uint64_t cfi_guards = 0;
+};
+
+/** A compilation result: the image plus diagnostics. */
+struct CompileOutput {
+    oelf::Image image;
+    InstrumentStats stats;
+};
+
+/** Compile MiniC source into an (unsigned) OELF image. */
+Result<CompileOutput> compile(const std::string &source,
+                              const CompileOptions &options = {});
+
+/** The embedded MiniC standard library source. */
+const char *stdlib_source();
+
+} // namespace occlum::toolchain
+
+#endif // OCCLUM_TOOLCHAIN_MINIC_H

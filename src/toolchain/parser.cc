@@ -1,0 +1,506 @@
+#include "toolchain/ast.h"
+
+#include <optional>
+
+#include "base/log.h"
+
+namespace occlum::toolchain {
+
+namespace {
+
+/** Recursive-descent parser over the token stream. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+    Result<Program>
+    parse_program()
+    {
+        Program prog;
+        while (!at_eof()) {
+            if (peek_keyword("global")) {
+                auto g = parse_global();
+                if (!g.ok()) return g.error();
+                prog.globals.push_back(g.take());
+            } else if (peek_keyword("func")) {
+                auto f = parse_func();
+                if (!f.ok()) return f.error();
+                prog.funcs.push_back(f.take());
+            } else {
+                return err("expected 'global' or 'func'");
+            }
+            if (failed_) return *failed_;
+        }
+        return prog;
+    }
+
+  private:
+    // ---- token helpers ------------------------------------------------
+    const Token &cur() const { return toks_[pos_]; }
+    bool at_eof() const { return cur().kind == Tok::kEof; }
+
+    bool
+    peek_keyword(const char *kw) const
+    {
+        return cur().kind == Tok::kKeyword && cur().text == kw;
+    }
+
+    bool
+    peek_punct(const char *p) const
+    {
+        return cur().kind == Tok::kPunct && cur().text == p;
+    }
+
+    bool
+    accept_keyword(const char *kw)
+    {
+        if (peek_keyword(kw)) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    accept_punct(const char *p)
+    {
+        if (peek_punct(p)) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Error
+    err(const std::string &why)
+    {
+        Error e(ErrorCode::kInval,
+                "parse error at line " + std::to_string(cur().line) +
+                    " near '" + cur().text + "': " + why);
+        if (!failed_) failed_ = e;
+        return e;
+    }
+
+    bool
+    expect_punct(const char *p)
+    {
+        if (!accept_punct(p)) {
+            err(std::string("expected '") + p + "'");
+            return false;
+        }
+        return true;
+    }
+
+    Result<std::string>
+    expect_ident()
+    {
+        if (cur().kind != Tok::kIdent) {
+            return err("expected identifier");
+        }
+        std::string name = cur().text;
+        ++pos_;
+        return name;
+    }
+
+    // ---- grammar --------------------------------------------------------
+    Result<GlobalDecl>
+    parse_global()
+    {
+        GlobalDecl g;
+        g.line = cur().line;
+        accept_keyword("global");
+        if (accept_keyword("byte")) {
+            g.is_byte = true;
+        } else if (!accept_keyword("int")) {
+            return err("expected 'int' or 'byte'");
+        }
+        auto name = expect_ident();
+        if (!name.ok()) return name.error();
+        g.name = name.take();
+        if (accept_punct("[")) {
+            if (cur().kind != Tok::kNumber) {
+                return err("expected array size");
+            }
+            g.count = static_cast<uint64_t>(cur().value);
+            g.is_array = true;
+            ++pos_;
+            if (!expect_punct("]")) return *failed_;
+        }
+        if (accept_punct("=")) {
+            if (cur().kind == Tok::kString) {
+                if (!g.is_byte) {
+                    return err("string initializer requires byte array");
+                }
+                g.init_string = cur().text;
+                ++pos_;
+            } else {
+                // Brace-less initializer list: = 1, 2, 3
+                while (true) {
+                    bool negative = accept_punct("-");
+                    if (cur().kind != Tok::kNumber) {
+                        return err("expected numeric initializer");
+                    }
+                    int64_t v = cur().value;
+                    ++pos_;
+                    g.init.push_back(negative ? -v : v);
+                    if (!accept_punct(",")) break;
+                }
+            }
+        }
+        if (!expect_punct(";")) return *failed_;
+        return g;
+    }
+
+    Result<Func>
+    parse_func()
+    {
+        Func f;
+        f.line = cur().line;
+        accept_keyword("func");
+        auto name = expect_ident();
+        if (!name.ok()) return name.error();
+        f.name = name.take();
+        if (!expect_punct("(")) return *failed_;
+        if (!peek_punct(")")) {
+            while (true) {
+                auto p = expect_ident();
+                if (!p.ok()) return p.error();
+                f.params.push_back(p.take());
+                if (!accept_punct(",")) break;
+            }
+        }
+        if (!expect_punct(")")) return *failed_;
+        auto body = parse_block();
+        if (!body.ok()) return body.error();
+        f.body = body.take();
+        return f;
+    }
+
+    Result<std::vector<StmtPtr>>
+    parse_block()
+    {
+        if (!expect_punct("{")) return *failed_;
+        std::vector<StmtPtr> stmts;
+        while (!peek_punct("}")) {
+            if (at_eof()) return err("unterminated block");
+            auto s = parse_stmt();
+            if (!s.ok()) return s.error();
+            stmts.push_back(s.take());
+        }
+        accept_punct("}");
+        return stmts;
+    }
+
+    Result<StmtPtr>
+    parse_stmt()
+    {
+        int line = cur().line;
+        auto make = [&](StmtKind kind) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = kind;
+            s->line = line;
+            return s;
+        };
+
+        if (accept_keyword("var")) {
+            auto s = make(StmtKind::kVarDecl);
+            auto name = expect_ident();
+            if (!name.ok()) return name.error();
+            s->name = name.take();
+            if (accept_punct("[")) {
+                if (cur().kind != Tok::kNumber) {
+                    return err("expected array size");
+                }
+                s->is_array = true;
+                s->array_size = static_cast<uint64_t>(cur().value);
+                ++pos_;
+                if (!expect_punct("]")) return *failed_;
+            } else if (accept_punct("=")) {
+                auto e = parse_expr();
+                if (!e.ok()) return e.error();
+                s->a = e.take();
+            }
+            if (!expect_punct(";")) return *failed_;
+            return StmtPtr(std::move(s));
+        }
+        if (accept_keyword("if")) {
+            auto s = make(StmtKind::kIf);
+            if (!expect_punct("(")) return *failed_;
+            auto cond = parse_expr();
+            if (!cond.ok()) return cond.error();
+            s->a = cond.take();
+            if (!expect_punct(")")) return *failed_;
+            auto body = parse_block();
+            if (!body.ok()) return body.error();
+            s->body = body.take();
+            if (accept_keyword("else")) {
+                if (peek_keyword("if")) {
+                    auto nested = parse_stmt();
+                    if (!nested.ok()) return nested.error();
+                    s->else_body.push_back(nested.take());
+                } else {
+                    auto eb = parse_block();
+                    if (!eb.ok()) return eb.error();
+                    s->else_body = eb.take();
+                }
+            }
+            return StmtPtr(std::move(s));
+        }
+        if (accept_keyword("while")) {
+            auto s = make(StmtKind::kWhile);
+            if (!expect_punct("(")) return *failed_;
+            auto cond = parse_expr();
+            if (!cond.ok()) return cond.error();
+            s->a = cond.take();
+            if (!expect_punct(")")) return *failed_;
+            auto body = parse_block();
+            if (!body.ok()) return body.error();
+            s->body = body.take();
+            return StmtPtr(std::move(s));
+        }
+        if (accept_keyword("for")) {
+            auto s = make(StmtKind::kFor);
+            if (!expect_punct("(")) return *failed_;
+            if (!peek_punct(";")) {
+                auto init = parse_simple_stmt();
+                if (!init.ok()) return init.error();
+                s->init = init.take();
+            }
+            if (!expect_punct(";")) return *failed_;
+            if (!peek_punct(";")) {
+                auto cond = parse_expr();
+                if (!cond.ok()) return cond.error();
+                s->a = cond.take();
+            }
+            if (!expect_punct(";")) return *failed_;
+            if (!peek_punct(")")) {
+                auto step = parse_simple_stmt();
+                if (!step.ok()) return step.error();
+                s->step = step.take();
+            }
+            if (!expect_punct(")")) return *failed_;
+            auto body = parse_block();
+            if (!body.ok()) return body.error();
+            s->body = body.take();
+            return StmtPtr(std::move(s));
+        }
+        if (accept_keyword("return")) {
+            auto s = make(StmtKind::kReturn);
+            if (!peek_punct(";")) {
+                auto e = parse_expr();
+                if (!e.ok()) return e.error();
+                s->a = e.take();
+            }
+            if (!expect_punct(";")) return *failed_;
+            return StmtPtr(std::move(s));
+        }
+        if (accept_keyword("break")) {
+            auto s = make(StmtKind::kBreak);
+            if (!expect_punct(";")) return *failed_;
+            return StmtPtr(std::move(s));
+        }
+        if (accept_keyword("continue")) {
+            auto s = make(StmtKind::kContinue);
+            if (!expect_punct(";")) return *failed_;
+            return StmtPtr(std::move(s));
+        }
+        auto s = parse_simple_stmt();
+        if (!s.ok()) return s.error();
+        if (!expect_punct(";")) return *failed_;
+        return s;
+    }
+
+    /** Assignment / index assignment / expression (no trailing ';'). */
+    Result<StmtPtr>
+    parse_simple_stmt()
+    {
+        int line = cur().line;
+        // Lookahead: ident '=' / ident '[' ... ']' '=' ?
+        if (cur().kind == Tok::kIdent) {
+            size_t save = pos_;
+            std::string name = cur().text;
+            ++pos_;
+            if (accept_punct("=")) {
+                auto e = parse_expr();
+                if (!e.ok()) return e.error();
+                auto s = std::make_unique<Stmt>();
+                s->kind = StmtKind::kAssign;
+                s->line = line;
+                s->name = name;
+                s->a = e.take();
+                return StmtPtr(std::move(s));
+            }
+            if (accept_punct("[")) {
+                auto idx = parse_expr();
+                if (!idx.ok()) return idx.error();
+                if (expect_punct("]") && accept_punct("=")) {
+                    auto val = parse_expr();
+                    if (!val.ok()) return val.error();
+                    auto s = std::make_unique<Stmt>();
+                    s->kind = StmtKind::kIndexAssign;
+                    s->line = line;
+                    s->name = name;
+                    s->a = idx.take();
+                    s->b = val.take();
+                    return StmtPtr(std::move(s));
+                }
+                if (failed_) return *failed_;
+            }
+            pos_ = save; // plain expression statement
+        }
+        auto e = parse_expr();
+        if (!e.ok()) return e.error();
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::kExprStmt;
+        s->line = line;
+        s->a = e.take();
+        return StmtPtr(std::move(s));
+    }
+
+    // ---- expressions (precedence climbing) -----------------------------
+    Result<ExprPtr>
+    parse_expr()
+    {
+        return parse_binary(0);
+    }
+
+    static int
+    precedence(const std::string &op)
+    {
+        if (op == "||") return 1;
+        if (op == "&&") return 2;
+        if (op == "|") return 3;
+        if (op == "^") return 4;
+        if (op == "&") return 5;
+        if (op == "==" || op == "!=") return 6;
+        if (op == "<" || op == "<=" || op == ">" || op == ">=") return 7;
+        if (op == "<<" || op == ">>") return 8;
+        if (op == "+" || op == "-") return 9;
+        if (op == "*" || op == "/" || op == "%") return 10;
+        return -1;
+    }
+
+    Result<ExprPtr>
+    parse_binary(int min_prec)
+    {
+        auto lhs = parse_unary();
+        if (!lhs.ok()) return lhs.error();
+        ExprPtr left = lhs.take();
+        while (cur().kind == Tok::kPunct) {
+            int prec = precedence(cur().text);
+            if (prec < 0 || prec < min_prec) break;
+            std::string op = cur().text;
+            ++pos_;
+            auto rhs = parse_binary(prec + 1);
+            if (!rhs.ok()) return rhs.error();
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::kBinary;
+            e->line = left->line;
+            e->op = op;
+            e->lhs = std::move(left);
+            e->rhs = rhs.take();
+            left = std::move(e);
+        }
+        return left;
+    }
+
+    Result<ExprPtr>
+    parse_unary()
+    {
+        if (peek_punct("-") || peek_punct("!") || peek_punct("~")) {
+            std::string op = cur().text;
+            int line = cur().line;
+            ++pos_;
+            auto inner = parse_unary();
+            if (!inner.ok()) return inner.error();
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::kUnary;
+            e->line = line;
+            e->op = op;
+            e->lhs = inner.take();
+            return ExprPtr(std::move(e));
+        }
+        return parse_primary();
+    }
+
+    Result<ExprPtr>
+    parse_primary()
+    {
+        int line = cur().line;
+        auto make = [&](ExprKind kind) {
+            auto e = std::make_unique<Expr>();
+            e->kind = kind;
+            e->line = line;
+            return e;
+        };
+        if (cur().kind == Tok::kNumber) {
+            auto e = make(ExprKind::kNumber);
+            e->num = cur().value;
+            ++pos_;
+            return ExprPtr(std::move(e));
+        }
+        if (cur().kind == Tok::kString) {
+            auto e = make(ExprKind::kString);
+            e->str = cur().text;
+            ++pos_;
+            return ExprPtr(std::move(e));
+        }
+        if (accept_punct("(")) {
+            auto e = parse_expr();
+            if (!e.ok()) return e.error();
+            if (!expect_punct(")")) return *failed_;
+            return e;
+        }
+        if (cur().kind == Tok::kIdent) {
+            std::string name = cur().text;
+            ++pos_;
+            if (accept_punct("(")) {
+                auto e = make(ExprKind::kCall);
+                e->name = name;
+                if (!peek_punct(")")) {
+                    while (true) {
+                        auto arg = parse_expr();
+                        if (!arg.ok()) return arg.error();
+                        e->args.push_back(arg.take());
+                        if (!accept_punct(",")) break;
+                    }
+                }
+                if (!expect_punct(")")) return *failed_;
+                return ExprPtr(std::move(e));
+            }
+            if (accept_punct("[")) {
+                auto idx = parse_expr();
+                if (!idx.ok()) return idx.error();
+                if (!expect_punct("]")) return *failed_;
+                auto e = make(ExprKind::kIndex);
+                e->name = name;
+                e->lhs = idx.take();
+                return ExprPtr(std::move(e));
+            }
+            auto e = make(ExprKind::kVar);
+            e->name = name;
+            return ExprPtr(std::move(e));
+        }
+        return err("expected expression");
+    }
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    std::optional<Error> failed_;
+};
+
+} // namespace
+
+Result<Program>
+parse(const std::string &source)
+{
+    auto tokens = lex(source);
+    if (!tokens.ok()) {
+        return tokens.error();
+    }
+    Parser parser(tokens.take());
+    return parser.parse_program();
+}
+
+} // namespace occlum::toolchain

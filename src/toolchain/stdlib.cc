@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The MiniC standard library (the musl-libc stand-in, paper §8).
+ * Prepended to every compilation unit unless CompileOptions disables
+ * it. Syscall numbers must match oelf/abi.h.
+ */
+#include "toolchain/minic.h"
+
+namespace occlum::toolchain {
+
+const char *
+stdlib_source()
+{
+    return R"MINIC(
+// ---- syscall wrappers (numbers mirror occlum::abi::Sys) ----
+func exit(code) { syscall(0, code); return 0; }
+func write(fd, buf, len) { return syscall(1, fd, buf, len); }
+func read(fd, buf, len) { return syscall(2, fd, buf, len); }
+func open(path, flags) { return syscall(3, path, strlen(path), flags); }
+func close(fd) { return syscall(4, fd); }
+func spawn(path, argv, nargs) {
+    return syscall(5, path, strlen(path), argv, nargs);
+}
+func spawn_io(path, argv, nargs, io3) {
+    return syscall(5, path, strlen(path), argv, nargs, io3);
+}
+func waitpid(pid) { return syscall(6, pid); }
+func getpid() { return syscall(7); }
+func pipe(fds) { return syscall(8, fds); }
+func dup2(oldfd, newfd) { return syscall(9, oldfd, newfd); }
+func lseek(fd, off, whence) { return syscall(10, fd, off, whence); }
+func unlink(path) { return syscall(11, path, strlen(path)); }
+func mmap(len) { return syscall(12, len); }
+func munmap(addr, len) { return syscall(13, addr, len); }
+func time_ns() { return syscall(14); }
+func kill(pid, sig) { return syscall(15, pid, sig); }
+func sock_listen(port, backlog) { return syscall(16, port, backlog); }
+func sock_accept(fd) { return syscall(17, fd); }
+func sock_send(fd, buf, len) { return syscall(18, fd, buf, len); }
+func sock_recv(fd, buf, len) { return syscall(19, fd, buf, len); }
+func yield() { return syscall(20); }
+func fstat_size(fd) { return syscall(21, fd); }
+func mkdir(path) { return syscall(22, path, strlen(path)); }
+func fsync(fd) { return syscall(23, fd); }
+func sock_connect(port) { return syscall(24, port); }
+func getarg(i, buf, cap) { return syscall(25, i, buf, cap); }
+
+// ---- strings and memory ----
+func strlen(s) {
+    var n = 0;
+    while (bload(s + n) != 0) { n = n + 1; }
+    return n;
+}
+func strcmp(a, b) {
+    var i = 0;
+    while (1) {
+        var ca = bload(a + i);
+        var cb = bload(b + i);
+        if (ca != cb) { return ca - cb; }
+        if (ca == 0) { return 0; }
+        i = i + 1;
+    }
+    return 0;
+}
+func strcpy(d, s) {
+    var i = 0;
+    while (1) {
+        var c = bload(s + i);
+        bstore(d + i, c);
+        if (c == 0) { return d; }
+        i = i + 1;
+    }
+    return d;
+}
+func strcat(d, s) {
+    strcpy(d + strlen(d), s);
+    return d;
+}
+func memcpy(d, s, n) {
+    var i = 0;
+    while (i < n) {
+        bstore(d + i, bload(s + i));
+        i = i + 1;
+    }
+    return d;
+}
+func memset(d, v, n) {
+    var i = 0;
+    while (i < n) {
+        bstore(d + i, v);
+        i = i + 1;
+    }
+    return d;
+}
+func memcmp(a, b, n) {
+    var i = 0;
+    while (i < n) {
+        var d = bload(a + i) - bload(b + i);
+        if (d != 0) { return d; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+// ---- heap: bump allocator over the PCB-provided range ----
+global int __brk;
+func malloc(n) {
+    if (__brk == 0) { __brk = heap_begin(); }
+    var nb = (n + 15) & (~15);
+    var p = __brk;
+    if (p + nb > heap_end()) { return 0; }
+    __brk = p + nb;
+    return p;
+}
+func free(p) { return 0; }
+
+// ---- formatting and console ----
+global byte __numbuf[32];
+func itoa(v, buf) {
+    var n = 0;
+    var neg = 0;
+    if (v < 0) { neg = 1; v = -v; }
+    var tmp[24];
+    var t = 0;
+    if (v == 0) { tmp[0] = '0'; t = 1; }
+    while (v > 0) {
+        tmp[t] = '0' + (v % 10);
+        v = v / 10;
+        t = t + 1;
+    }
+    if (neg) { bstore(buf + n, '-'); n = n + 1; }
+    while (t > 0) {
+        t = t - 1;
+        bstore(buf + n, tmp[t]);
+        n = n + 1;
+    }
+    bstore(buf + n, 0);
+    return n;
+}
+func atoi(s) {
+    var i = 0;
+    var neg = 0;
+    if (bload(s) == '-') { neg = 1; i = 1; }
+    var v = 0;
+    while (1) {
+        var c = bload(s + i);
+        if (c < '0') { break; }
+        if (c > '9') { break; }
+        v = v * 10 + (c - '0');
+        i = i + 1;
+    }
+    if (neg) { return -v; }
+    return v;
+}
+func print(s) { return write(1, s, strlen(s)); }
+func println(s) {
+    print(s);
+    return write(1, "\n", 1);
+}
+func print_int(v) {
+    var n = itoa(v, __numbuf);
+    return write(1, __numbuf, n);
+}
+)MINIC";
+}
+
+} // namespace occlum::toolchain

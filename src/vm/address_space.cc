@@ -1,0 +1,163 @@
+#include "vm/address_space.h"
+
+#include <cstring>
+
+namespace occlum::vm {
+
+Status
+AddressSpace::map(uint64_t addr, uint64_t len, uint8_t perms)
+{
+    if ((addr & kPageMask) || (len & kPageMask) || len == 0) {
+        return Status(ErrorCode::kInval, "map: unaligned range");
+    }
+    for (uint64_t a = addr; a < addr + len; a += kPageSize) {
+        if (pages_.count(a / kPageSize)) {
+            return Status(ErrorCode::kExist, "map: page already mapped");
+        }
+    }
+    for (uint64_t a = addr; a < addr + len; a += kPageSize) {
+        Page page;
+        page.data = std::make_unique<uint8_t[]>(kPageSize);
+        std::memset(page.data.get(), 0, kPageSize);
+        page.perms = perms;
+        pages_.emplace(a / kPageSize, std::move(page));
+    }
+    return Status();
+}
+
+void
+AddressSpace::unmap(uint64_t addr, uint64_t len)
+{
+    for (uint64_t a = addr & ~kPageMask; a < addr + len; a += kPageSize) {
+        pages_.erase(a / kPageSize);
+    }
+}
+
+Status
+AddressSpace::protect(uint64_t addr, uint64_t len, uint8_t perms)
+{
+    if ((addr & kPageMask) || (len & kPageMask) || len == 0) {
+        return Status(ErrorCode::kInval, "protect: unaligned range");
+    }
+    for (uint64_t a = addr; a < addr + len; a += kPageSize) {
+        if (!pages_.count(a / kPageSize)) {
+            return Status(ErrorCode::kNoMem, "protect: page not mapped");
+        }
+    }
+    for (uint64_t a = addr; a < addr + len; a += kPageSize) {
+        pages_[a / kPageSize].perms = perms;
+    }
+    return Status();
+}
+
+bool
+AddressSpace::is_mapped(uint64_t addr, uint64_t len) const
+{
+    for (uint64_t a = addr & ~kPageMask; a < addr + len; a += kPageSize) {
+        if (!pages_.count(a / kPageSize)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+uint8_t
+AddressSpace::perms_at(uint64_t addr) const
+{
+    const Page *page = find_page(addr);
+    return page ? page->perms : static_cast<uint8_t>(kPermNone);
+}
+
+const AddressSpace::Page *
+AddressSpace::find_page(uint64_t addr) const
+{
+    auto it = pages_.find(addr / kPageSize);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+AddressSpace::Page *
+AddressSpace::find_page(uint64_t addr)
+{
+    auto it = pages_.find(addr / kPageSize);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+template <bool Write>
+AccessFault
+AddressSpace::access(uint64_t addr, void *buf, uint64_t len, uint8_t require)
+{
+    uint8_t *out = static_cast<uint8_t *>(buf);
+    uint64_t done = 0;
+    while (done < len) {
+        uint64_t a = addr + done;
+        Page *page = find_page(a);
+        if (!page) {
+            return AccessFault::kUnmapped;
+        }
+        if (require && !(page->perms & require)) {
+            if (require & kPermW) return AccessFault::kNoWrite;
+            if (require & kPermX) return AccessFault::kNoExec;
+            return AccessFault::kNoRead;
+        }
+        uint64_t in_page = kPageSize - (a & kPageMask);
+        uint64_t n = std::min(in_page, len - done);
+        if constexpr (Write) {
+            std::memcpy(page->data.get() + (a & kPageMask), out + done, n);
+        } else {
+            std::memcpy(out + done, page->data.get() + (a & kPageMask), n);
+        }
+        done += n;
+    }
+    return AccessFault::kNone;
+}
+
+AccessFault
+AddressSpace::read(uint64_t addr, void *out, uint64_t len) const
+{
+    return const_cast<AddressSpace *>(this)->access<false>(addr, out, len,
+                                                           kPermR);
+}
+
+AccessFault
+AddressSpace::write(uint64_t addr, const void *in, uint64_t len)
+{
+    return access<true>(addr, const_cast<void *>(in), len, kPermW);
+}
+
+AccessFault
+AddressSpace::fetch(uint64_t addr, void *out, uint64_t len) const
+{
+    return const_cast<AddressSpace *>(this)->access<false>(addr, out, len,
+                                                           kPermX);
+}
+
+AccessFault
+AddressSpace::read_raw(uint64_t addr, void *out, uint64_t len) const
+{
+    return const_cast<AddressSpace *>(this)->access<false>(addr, out, len,
+                                                           0);
+}
+
+AccessFault
+AddressSpace::write_raw(uint64_t addr, const void *in, uint64_t len)
+{
+    return access<true>(addr, const_cast<void *>(in), len, 0);
+}
+
+AccessFault
+AddressSpace::zero_raw(uint64_t addr, uint64_t len)
+{
+    Bytes zeros(std::min<uint64_t>(len, kPageSize), 0);
+    uint64_t done = 0;
+    while (done < len) {
+        uint64_t n = std::min<uint64_t>(zeros.size(), len - done);
+        AccessFault fault = write_raw(addr + done, zeros.data(), n);
+        if (fault != AccessFault::kNone) {
+            return fault;
+        }
+        done += n;
+    }
+    return AccessFault::kNone;
+}
+
+} // namespace occlum::vm

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A sparse, paged virtual address space with RWX permissions.
+ *
+ * One AddressSpace backs one simulated enclave (Occlum: the single
+ * enclave shared by all SIPs and the LibOS) or one baseline process.
+ * Pages are 4 KiB; unmapped pages fault on any access, which is what
+ * makes the MMDSFI guard regions (G1/G2 around each domain's data
+ * region) effective.
+ */
+#ifndef OCCLUM_VM_ADDRESS_SPACE_H
+#define OCCLUM_VM_ADDRESS_SPACE_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "base/bytes.h"
+#include "base/result.h"
+
+namespace occlum::vm {
+
+constexpr uint64_t kPageSize = 4096;
+constexpr uint64_t kPageMask = kPageSize - 1;
+
+/** Page permission bits. */
+enum Perm : uint8_t {
+    kPermNone = 0,
+    kPermR = 1,
+    kPermW = 2,
+    kPermX = 4,
+    kPermRW = kPermR | kPermW,
+    kPermRX = kPermR | kPermX,
+    kPermRWX = kPermR | kPermW | kPermX,
+};
+
+/** Why a memory access failed. */
+enum class AccessFault {
+    kNone,
+    kUnmapped,   // page not present (e.g. a guard region)
+    kNoRead,
+    kNoWrite,
+    kNoExec,
+};
+
+/** Sparse paged memory. */
+class AddressSpace
+{
+  public:
+    AddressSpace() = default;
+    AddressSpace(const AddressSpace &) = delete;
+    AddressSpace &operator=(const AddressSpace &) = delete;
+
+    /** Map [addr, addr+len) with `perms`; addr/len must be page-aligned.
+     *  Fails with kExist if any page is already mapped. */
+    Status map(uint64_t addr, uint64_t len, uint8_t perms);
+
+    /** Unmap [addr, addr+len); silently skips unmapped pages. */
+    void unmap(uint64_t addr, uint64_t len);
+
+    /** Change permissions on already-mapped pages. */
+    Status protect(uint64_t addr, uint64_t len, uint8_t perms);
+
+    /** True if every page of [addr, addr+len) is mapped. */
+    bool is_mapped(uint64_t addr, uint64_t len) const;
+
+    /** Permissions of the page containing addr (kPermNone if unmapped). */
+    uint8_t perms_at(uint64_t addr) const;
+
+    // ---- checked accessors used by the CPU --------------------------
+    AccessFault read(uint64_t addr, void *out, uint64_t len) const;
+    AccessFault write(uint64_t addr, const void *in, uint64_t len);
+    AccessFault fetch(uint64_t addr, void *out, uint64_t len) const;
+
+    // ---- trusted accessors used by the LibOS / loaders ---------------
+    /** Copy bytes ignoring permissions (still faults on unmapped). */
+    AccessFault read_raw(uint64_t addr, void *out, uint64_t len) const;
+    AccessFault write_raw(uint64_t addr, const void *in, uint64_t len);
+
+    /** Zero-fill a range (trusted; used when zeroing BSS / new pages). */
+    AccessFault zero_raw(uint64_t addr, uint64_t len);
+
+    /** Number of currently mapped pages. */
+    size_t mapped_pages() const { return pages_.size(); }
+
+    /** Bump the generation counter (invalidates CPU decode caches). */
+    void touch_code() { ++code_generation_; }
+    uint64_t code_generation() const { return code_generation_; }
+
+  private:
+    struct Page {
+        std::unique_ptr<uint8_t[]> data;
+        uint8_t perms = kPermNone;
+    };
+
+    const Page *find_page(uint64_t addr) const;
+    Page *find_page(uint64_t addr);
+
+    /** Generic copy loop; `require` selects the permission bit. */
+    template <bool Write>
+    AccessFault access(uint64_t addr, void *buf, uint64_t len,
+                       uint8_t require);
+
+    std::unordered_map<uint64_t, Page> pages_;
+    uint64_t code_generation_ = 0;
+};
+
+} // namespace occlum::vm
+
+#endif // OCCLUM_VM_ADDRESS_SPACE_H

@@ -1,0 +1,389 @@
+#include "vm/cpu.h"
+
+#include "base/log.h"
+
+namespace occlum::vm {
+
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+FaultKind
+data_fault_kind(AccessFault fault)
+{
+    switch (fault) {
+      case AccessFault::kUnmapped: return FaultKind::kPageFault;
+      case AccessFault::kNoRead:
+      case AccessFault::kNoWrite:
+      case AccessFault::kNoExec: return FaultKind::kPermFault;
+      case AccessFault::kNone: return FaultKind::kNone;
+    }
+    return FaultKind::kNone;
+}
+
+} // namespace
+
+uint64_t
+Cpu::effective_address(const isa::MemOperand &mem, uint64_t instr_end) const
+{
+    switch (mem.mode) {
+      case isa::AddrMode::kBaseDisp:
+        return state_.regs[mem.base] + static_cast<int64_t>(mem.disp);
+      case isa::AddrMode::kSib:
+        return state_.regs[mem.base] +
+               (state_.regs[mem.index] << mem.scale_log2) +
+               static_cast<int64_t>(mem.disp);
+      case isa::AddrMode::kRipRel:
+        return instr_end + static_cast<int64_t>(mem.disp);
+      case isa::AddrMode::kAbs:
+        return mem.abs_addr;
+    }
+    OCC_PANIC("bad addr mode");
+}
+
+void
+Cpu::set_cmp_flags(uint64_t a, uint64_t b)
+{
+    uint64_t diff = a - b;
+    int64_t sa = static_cast<int64_t>(a);
+    int64_t sb = static_cast<int64_t>(b);
+    state_.flags.zf = (a == b);
+    state_.flags.sf = (static_cast<int64_t>(diff) < 0);
+    state_.flags.cf = (a < b);
+    // Signed overflow of a - b.
+    state_.flags.of = ((sa < 0) != (sb < 0)) &&
+                      ((sa < 0) != (static_cast<int64_t>(diff) < 0));
+}
+
+bool
+Cpu::eval_cond(isa::Cond cond) const
+{
+    const Flags &f = state_.flags;
+    switch (cond) {
+      case isa::Cond::kEq: return f.zf;
+      case isa::Cond::kNe: return !f.zf;
+      case isa::Cond::kLt: return f.sf != f.of;
+      case isa::Cond::kLe: return f.zf || (f.sf != f.of);
+      case isa::Cond::kGt: return !f.zf && (f.sf == f.of);
+      case isa::Cond::kGe: return f.sf == f.of;
+      case isa::Cond::kB: return f.cf;
+      case isa::Cond::kBe: return f.cf || f.zf;
+      case isa::Cond::kA: return !f.cf && !f.zf;
+      case isa::Cond::kAe: return !f.cf;
+    }
+    OCC_PANIC("bad cond");
+}
+
+CpuExit
+Cpu::run(uint64_t max_instructions)
+{
+    CpuExit exit;
+    auto fault = [&](FaultKind kind, uint64_t addr) {
+        exit.kind = ExitKind::kFault;
+        exit.fault = kind;
+        exit.fault_addr = addr;
+        exit.rip = state_.rip;
+        return exit;
+    };
+
+    for (uint64_t executed = 0; executed < max_instructions; ++executed) {
+        // ---- fetch + decode (with a generation-checked cache) --------
+        uint64_t rip = state_.rip;
+        const Instruction *instr_ptr = nullptr;
+        auto cached = decode_cache_.find(rip);
+        if (cached != decode_cache_.end() &&
+            cached->second.generation == mem_->code_generation()) {
+            instr_ptr = &cached->second.instr;
+        } else {
+            uint8_t buf[16];
+            uint64_t got = 0;
+            while (got < sizeof(buf)) {
+                if (mem_->fetch(rip + got, buf + got, 1) !=
+                    AccessFault::kNone) {
+                    break;
+                }
+                ++got;
+            }
+            if (got == 0) {
+                return fault(FaultKind::kExecFault, rip);
+            }
+            auto decoded = isa::decode(buf, got, 0, rip);
+            if (!decoded.ok()) {
+                return fault(FaultKind::kInvalidInstr, rip);
+            }
+            DecodeEntry entry;
+            entry.instr = decoded.take();
+            entry.generation = mem_->code_generation();
+            instr_ptr =
+                &decode_cache_.insert_or_assign(rip, entry).first->second
+                     .instr;
+        }
+        const Instruction &instr = *instr_ptr;
+        uint64_t next_rip = instr.end();
+
+        cycles_ += isa::cycle_cost(instr);
+        ++instructions_;
+
+        auto &regs = state_.regs;
+
+        // ---- execute --------------------------------------------------
+        switch (instr.op) {
+          case Opcode::kNop:
+          case Opcode::kCfiLabel:
+          case Opcode::kLea:
+            if (instr.op == Opcode::kLea) {
+                regs[instr.reg1] =
+                    effective_address(instr.mem, next_rip);
+            }
+            break;
+
+          case Opcode::kHlt:
+          case Opcode::kEexit:
+          case Opcode::kEaccept:
+          case Opcode::kXrstor:
+          case Opcode::kWrfsbase:
+          case Opcode::kBndmk:
+          case Opcode::kBndmov:
+            exit.kind = ExitKind::kPrivileged;
+            exit.priv_op = instr.op;
+            exit.rip = rip;
+            return exit;
+
+          case Opcode::kLtrap:
+            state_.rip = next_rip;
+            exit.kind = ExitKind::kLtrap;
+            exit.rip = rip;
+            return exit;
+
+          case Opcode::kRdcycle:
+            regs[instr.reg1] = cycles_;
+            break;
+
+          case Opcode::kMovRI:
+            regs[instr.reg1] = static_cast<uint64_t>(instr.imm);
+            break;
+          case Opcode::kMovRR:
+            regs[instr.reg1] = regs[instr.reg2];
+            break;
+
+          case Opcode::kLoad:
+          case Opcode::kLoad8:
+          case Opcode::kLoad32:
+          case Opcode::kVGather: {
+            uint64_t addr = effective_address(instr.mem, next_rip);
+            uint64_t size = instr.op == Opcode::kLoad8 ? 1
+                          : instr.op == Opcode::kLoad32 ? 4 : 8;
+            uint64_t value = 0;
+            AccessFault f = mem_->read(addr, &value, size);
+            if (f != AccessFault::kNone) {
+                return fault(data_fault_kind(f), addr);
+            }
+            regs[instr.reg1] = value;
+            break;
+          }
+          case Opcode::kStore:
+          case Opcode::kStore8:
+          case Opcode::kStore32: {
+            uint64_t addr = effective_address(instr.mem, next_rip);
+            uint64_t size = instr.op == Opcode::kStore8 ? 1
+                          : instr.op == Opcode::kStore32 ? 4 : 8;
+            uint64_t value = regs[instr.reg1];
+            AccessFault f = mem_->write(addr, &value, size);
+            if (f != AccessFault::kNone) {
+                return fault(data_fault_kind(f), addr);
+            }
+            break;
+          }
+
+          case Opcode::kAddRR: regs[instr.reg1] += regs[instr.reg2]; break;
+          case Opcode::kAddRI: regs[instr.reg1] += instr.imm; break;
+          case Opcode::kSubRR: regs[instr.reg1] -= regs[instr.reg2]; break;
+          case Opcode::kSubRI: regs[instr.reg1] -= instr.imm; break;
+          case Opcode::kMulRR: regs[instr.reg1] *= regs[instr.reg2]; break;
+          case Opcode::kMulRI: regs[instr.reg1] *= instr.imm; break;
+          case Opcode::kDivRR:
+          case Opcode::kModRR: {
+            int64_t divisor = static_cast<int64_t>(regs[instr.reg2]);
+            if (divisor == 0) {
+                return fault(FaultKind::kDivide, rip);
+            }
+            int64_t dividend = static_cast<int64_t>(regs[instr.reg1]);
+            // INT64_MIN / -1 overflows on the host; define it as
+            // wrapping (the quotient is INT64_MIN again).
+            if (dividend == INT64_MIN && divisor == -1) {
+                regs[instr.reg1] =
+                    instr.op == Opcode::kDivRR
+                        ? static_cast<uint64_t>(INT64_MIN) : 0;
+            } else if (instr.op == Opcode::kDivRR) {
+                regs[instr.reg1] =
+                    static_cast<uint64_t>(dividend / divisor);
+            } else {
+                regs[instr.reg1] =
+                    static_cast<uint64_t>(dividend % divisor);
+            }
+            break;
+          }
+          case Opcode::kAndRR: regs[instr.reg1] &= regs[instr.reg2]; break;
+          case Opcode::kAndRI: regs[instr.reg1] &= instr.imm; break;
+          case Opcode::kOrRR: regs[instr.reg1] |= regs[instr.reg2]; break;
+          case Opcode::kOrRI: regs[instr.reg1] |= instr.imm; break;
+          case Opcode::kXorRR: regs[instr.reg1] ^= regs[instr.reg2]; break;
+          case Opcode::kXorRI: regs[instr.reg1] ^= instr.imm; break;
+          case Opcode::kShlRI:
+            regs[instr.reg1] <<= (instr.imm & 63);
+            break;
+          case Opcode::kShrRI:
+            regs[instr.reg1] >>= (instr.imm & 63);
+            break;
+          case Opcode::kSarRI:
+            regs[instr.reg1] = static_cast<uint64_t>(
+                static_cast<int64_t>(regs[instr.reg1]) >> (instr.imm & 63));
+            break;
+          case Opcode::kShlRR:
+            regs[instr.reg1] <<= (regs[instr.reg2] & 63);
+            break;
+          case Opcode::kShrRR:
+            regs[instr.reg1] >>= (regs[instr.reg2] & 63);
+            break;
+          case Opcode::kSarRR:
+            regs[instr.reg1] = static_cast<uint64_t>(
+                static_cast<int64_t>(regs[instr.reg1]) >>
+                (regs[instr.reg2] & 63));
+            break;
+          case Opcode::kNeg:
+            regs[instr.reg1] = 0 - regs[instr.reg1];
+            break;
+          case Opcode::kNot:
+            regs[instr.reg1] = ~regs[instr.reg1];
+            break;
+
+          case Opcode::kCmpRR:
+            set_cmp_flags(regs[instr.reg1], regs[instr.reg2]);
+            break;
+          case Opcode::kCmpRI:
+            set_cmp_flags(regs[instr.reg1],
+                          static_cast<uint64_t>(instr.imm));
+            break;
+          case Opcode::kTestRR: {
+            uint64_t r = regs[instr.reg1] & regs[instr.reg2];
+            state_.flags.zf = (r == 0);
+            state_.flags.sf = (static_cast<int64_t>(r) < 0);
+            state_.flags.cf = false;
+            state_.flags.of = false;
+            break;
+          }
+
+          case Opcode::kJmp:
+            next_rip = instr.direct_target();
+            break;
+          case Opcode::kJcc:
+            if (eval_cond(instr.cond)) {
+                next_rip = instr.direct_target();
+            }
+            break;
+          case Opcode::kCall:
+          case Opcode::kCallReg:
+          case Opcode::kCallMem: {
+            uint64_t target;
+            if (instr.op == Opcode::kCall) {
+                target = instr.direct_target();
+            } else if (instr.op == Opcode::kCallReg) {
+                target = regs[instr.reg1];
+            } else {
+                uint64_t addr = effective_address(instr.mem, next_rip);
+                AccessFault f = mem_->read(addr, &target, 8);
+                if (f != AccessFault::kNone) {
+                    return fault(data_fault_kind(f), addr);
+                }
+            }
+            uint64_t new_sp = regs[isa::kSp] - 8;
+            AccessFault f = mem_->write(new_sp, &next_rip, 8);
+            if (f != AccessFault::kNone) {
+                return fault(data_fault_kind(f), new_sp);
+            }
+            regs[isa::kSp] = new_sp;
+            next_rip = target;
+            break;
+          }
+          case Opcode::kJmpReg:
+            next_rip = regs[instr.reg1];
+            break;
+          case Opcode::kJmpMem: {
+            uint64_t addr = effective_address(instr.mem, next_rip);
+            uint64_t target;
+            AccessFault f = mem_->read(addr, &target, 8);
+            if (f != AccessFault::kNone) {
+                return fault(data_fault_kind(f), addr);
+            }
+            next_rip = target;
+            break;
+          }
+          case Opcode::kRet:
+          case Opcode::kRetImm: {
+            uint64_t target;
+            AccessFault f = mem_->read(regs[isa::kSp], &target, 8);
+            if (f != AccessFault::kNone) {
+                return fault(data_fault_kind(f), regs[isa::kSp]);
+            }
+            regs[isa::kSp] += 8 + static_cast<uint64_t>(instr.imm);
+            next_rip = target;
+            break;
+          }
+
+          case Opcode::kPush:
+          case Opcode::kPushImm: {
+            uint64_t value = instr.op == Opcode::kPush
+                                 ? regs[instr.reg1]
+                                 : static_cast<uint64_t>(instr.imm);
+            uint64_t new_sp = regs[isa::kSp] - 8;
+            AccessFault f = mem_->write(new_sp, &value, 8);
+            if (f != AccessFault::kNone) {
+                return fault(data_fault_kind(f), new_sp);
+            }
+            regs[isa::kSp] = new_sp;
+            break;
+          }
+          case Opcode::kPop: {
+            uint64_t value;
+            AccessFault f = mem_->read(regs[isa::kSp], &value, 8);
+            if (f != AccessFault::kNone) {
+                return fault(data_fault_kind(f), regs[isa::kSp]);
+            }
+            regs[isa::kSp] += 8;
+            regs[instr.reg1] = value;
+            break;
+          }
+
+          case Opcode::kBndclMem:
+          case Opcode::kBndcuMem: {
+            uint64_t addr = effective_address(instr.mem, next_rip);
+            const BoundReg &b = state_.bnds[instr.bnd];
+            bool violation = instr.op == Opcode::kBndclMem ? (addr < b.lo)
+                                                           : (addr > b.hi);
+            if (violation) {
+                return fault(FaultKind::kBoundRange, addr);
+            }
+            break;
+          }
+          case Opcode::kBndclReg:
+          case Opcode::kBndcuReg: {
+            uint64_t value = regs[instr.reg1];
+            const BoundReg &b = state_.bnds[instr.bnd];
+            bool violation = instr.op == Opcode::kBndclReg ? (value < b.lo)
+                                                           : (value > b.hi);
+            if (violation) {
+                return fault(FaultKind::kBoundRange, value);
+            }
+            break;
+          }
+        }
+
+        state_.rip = next_rip;
+    }
+    exit.kind = ExitKind::kInstrBudget;
+    exit.rip = state_.rip;
+    return exit;
+}
+
+} // namespace occlum::vm

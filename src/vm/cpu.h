@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The OVM CPU: an interpreter for the OVM ISA with MPX-style bound
+ * registers and cycle accounting.
+ *
+ * One Cpu object models one hardware thread (one SGX thread when run
+ * under the sgx substrate). Its full register state — including the
+ * bound registers, which real SGX saves/restores through the SSA on
+ * AEX (paper §2.1/§2.3) — can be snapshotted and restored, which is
+ * how the scheduler context-switches SIPs.
+ */
+#ifndef OCCLUM_VM_CPU_H
+#define OCCLUM_VM_CPU_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "isa/isa.h"
+#include "vm/address_space.h"
+
+namespace occlum::vm {
+
+/** One MPX-style bound register: [lo, hi], inclusive. */
+struct BoundReg {
+    uint64_t lo = 0;
+    uint64_t hi = ~0ull;
+};
+
+/** Comparison flags produced by cmp/test. */
+struct Flags {
+    bool zf = false;
+    bool sf = false;
+    bool cf = false;
+    bool of = false;
+};
+
+/** Why the CPU stopped executing. */
+enum class ExitKind {
+    kInstrBudget, // executed the requested number of instructions
+    kLtrap,       // hit ltrap (LibOS syscall trampoline)
+    kPrivileged,  // hit a dangerous instruction (hlt/eexit/bndmk/...)
+    kFault,       // memory / bound-range / decode / divide fault
+};
+
+/** Fault detail for ExitKind::kFault. */
+enum class FaultKind {
+    kNone,
+    kPageFault,   // unmapped page (e.g. a guard region)
+    kPermFault,   // mapped but wrong permission
+    kExecFault,   // fetch from non-executable or unmapped page
+    kBoundRange,  // #BR from bndcl/bndcu
+    kInvalidInstr,// undecodable bytes
+    kDivide,      // divide by zero
+};
+
+struct CpuExit {
+    ExitKind kind = ExitKind::kInstrBudget;
+    FaultKind fault = FaultKind::kNone;
+    uint64_t fault_addr = 0; // faulting memory address if applicable
+    uint64_t rip = 0;        // address of the instruction that exited
+    isa::Opcode priv_op = isa::Opcode::kNop; // for kPrivileged
+};
+
+/** Full architectural state (the SSA image under SGX). */
+struct CpuState {
+    std::array<uint64_t, isa::kNumRegs> regs{};
+    std::array<BoundReg, isa::kNumBndRegs> bnds{};
+    Flags flags;
+    uint64_t rip = 0;
+};
+
+/** The interpreter. */
+class Cpu
+{
+  public:
+    explicit Cpu(AddressSpace &mem) : mem_(&mem) {}
+
+    // ---- state access ------------------------------------------------
+    uint64_t reg(int i) const { return state_.regs[i]; }
+    void set_reg(int i, uint64_t v) { state_.regs[i] = v; }
+    uint64_t rip() const { return state_.rip; }
+    void set_rip(uint64_t rip) { state_.rip = rip; }
+    BoundReg bnd(int i) const { return state_.bnds[i]; }
+    void set_bnd(int i, BoundReg b) { state_.bnds[i] = b; }
+    uint64_t sp() const { return state_.regs[isa::kSp]; }
+    void set_sp(uint64_t v) { state_.regs[isa::kSp] = v; }
+
+    const CpuState &state() const { return state_; }
+    void set_state(const CpuState &s) { state_ = s; }
+
+    /** Cycles consumed since construction (monotonic). */
+    uint64_t cycles() const { return cycles_; }
+    /** Dynamic instruction count since construction. */
+    uint64_t instructions() const { return instructions_; }
+
+    AddressSpace &mem() { return *mem_; }
+
+    // ---- execution -----------------------------------------------------
+    /**
+     * Execute up to `max_instructions`. Returns the reason for
+     * stopping. On kLtrap, rip points *past* the ltrap so execution
+     * can resume after the LibOS services the call. On faults, rip is
+     * the faulting instruction.
+     */
+    CpuExit run(uint64_t max_instructions);
+
+  private:
+    struct DecodeEntry {
+        isa::Instruction instr;
+        uint64_t generation = ~0ull;
+    };
+
+    /** Effective address of a memory operand (rip-relative uses end). */
+    uint64_t effective_address(const isa::MemOperand &mem,
+                               uint64_t instr_end) const;
+
+    bool eval_cond(isa::Cond cond) const;
+    void set_cmp_flags(uint64_t a, uint64_t b);
+
+    AddressSpace *mem_;
+    CpuState state_;
+    uint64_t cycles_ = 0;
+    uint64_t instructions_ = 0;
+    std::unordered_map<uint64_t, DecodeEntry> decode_cache_;
+};
+
+} // namespace occlum::vm
+
+#endif // OCCLUM_VM_CPU_H

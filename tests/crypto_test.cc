@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the crypto substrate against published vectors:
+ * FIPS 180-4 (SHA-256), RFC 4231 (HMAC-SHA-256), FIPS 197 and
+ * SP 800-38A (AES-128 / CTR).
+ */
+#include <gtest/gtest.h>
+
+#include "base/bytes.h"
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace occlum::crypto {
+namespace {
+
+Bytes
+str_bytes(const std::string &s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+std::string
+digest_hex(const Sha256Digest &d)
+{
+    return to_hex(d.data(), d.size());
+}
+
+// ---- SHA-256 (FIPS 180-4 examples) -----------------------------------
+
+TEST(Sha256, EmptyString)
+{
+    EXPECT_EQ(digest_hex(Sha256::digest(Bytes{})),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b"
+              "7852b855");
+}
+
+TEST(Sha256, Abc)
+{
+    EXPECT_EQ(digest_hex(Sha256::digest(str_bytes("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61"
+              "f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage)
+{
+    EXPECT_EQ(digest_hex(Sha256::digest(str_bytes(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnop"
+                  "nopq"))),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd4"
+              "19db06c1");
+}
+
+TEST(Sha256, MillionAs)
+{
+    Sha256 h;
+    Bytes chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) {
+        h.update(chunk);
+    }
+    EXPECT_EQ(digest_hex(h.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39cc"
+              "c7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot)
+{
+    Bytes data;
+    for (int i = 0; i < 999; ++i) {
+        data.push_back(static_cast<uint8_t>(i * 37));
+    }
+    Sha256 h;
+    // Uneven chunking exercises the internal buffering.
+    size_t off = 0;
+    size_t sizes[] = {1, 63, 64, 65, 127, 500, 179};
+    for (size_t s : sizes) {
+        size_t n = std::min(s, data.size() - off);
+        h.update(data.data() + off, n);
+        off += n;
+    }
+    ASSERT_EQ(off, data.size());
+    EXPECT_EQ(h.finish(), Sha256::digest(data));
+}
+
+TEST(Sha256, PaddingBoundaries)
+{
+    // Lengths straddling the 55/56/64-byte padding edges.
+    for (size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+        Bytes data(len, 0x5a);
+        Sha256 a;
+        a.update(data);
+        Sha256 b;
+        for (auto byte : data) {
+            b.update(&byte, 1);
+        }
+        EXPECT_EQ(a.finish(), b.finish()) << "len=" << len;
+    }
+}
+
+// ---- HMAC-SHA-256 (RFC 4231) -------------------------------------------
+
+TEST(Hmac, Rfc4231Case1)
+{
+    Bytes key(20, 0x0b);
+    Bytes data = str_bytes("Hi There");
+    EXPECT_EQ(to_hex(hmac_sha256(key, data).data(), 32),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c"
+              "2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2)
+{
+    Bytes key = str_bytes("Jefe");
+    Bytes data = str_bytes("what do ya want for nothing?");
+    EXPECT_EQ(to_hex(hmac_sha256(key, data).data(), 32),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b9"
+              "64ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3)
+{
+    Bytes key(20, 0xaa);
+    Bytes data(50, 0xdd);
+    EXPECT_EQ(to_hex(hmac_sha256(key, data).data(), 32),
+              "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514"
+              "ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey)
+{
+    Bytes key(131, 0xaa);
+    Bytes data = str_bytes("Test Using Larger Than Block-Size Key - "
+                           "Hash Key First");
+    EXPECT_EQ(to_hex(hmac_sha256(key, data).data(), 32),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f"
+              "0ee37f54");
+}
+
+TEST(Hmac, DigestEqualConstantTime)
+{
+    Sha256Digest a = Sha256::digest(str_bytes("x"));
+    Sha256Digest b = a;
+    EXPECT_TRUE(digest_equal(a, b));
+    b[31] ^= 1;
+    EXPECT_FALSE(digest_equal(a, b));
+}
+
+// ---- AES-128 (FIPS 197 / SP 800-38A) -------------------------------------
+
+Key128
+key_from_hex(const std::string &hex)
+{
+    Bytes raw = from_hex(hex);
+    Key128 key{};
+    std::copy(raw.begin(), raw.end(), key.begin());
+    return key;
+}
+
+TEST(Aes128, Fips197Example)
+{
+    Aes128 aes(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+    Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+    uint8_t ct[16];
+    aes.encrypt_block(pt.data(), ct);
+    EXPECT_EQ(to_hex(ct, 16), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, Sp800_38aBlock)
+{
+    // SP 800-38A F.1.1 AES-128 ECB block 1.
+    Aes128 aes(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+    Bytes pt = from_hex("6bc1bee22e409f96e93d7e117393172a");
+    uint8_t ct[16];
+    aes.encrypt_block(pt.data(), ct);
+    EXPECT_EQ(to_hex(ct, 16), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(Aes128, CtrRoundTrip)
+{
+    Aes128 aes(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+    std::array<uint8_t, 12> iv = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+    Bytes pt;
+    for (int i = 0; i < 1000; ++i) {
+        pt.push_back(static_cast<uint8_t>(i * 13));
+    }
+    Bytes ct = aes.ctr_crypt(iv, 0, pt);
+    EXPECT_NE(ct, pt);
+    Bytes back = aes.ctr_crypt(iv, 0, ct);
+    EXPECT_EQ(back, pt);
+}
+
+TEST(Aes128, CtrCounterContinuity)
+{
+    // Encrypting [A|B] at counter 0 equals encrypting A at counter 0
+    // and B at counter len(A)/16 when A is block-aligned.
+    Aes128 aes(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+    std::array<uint8_t, 12> iv{};
+    Bytes data(64, 0xab);
+    Bytes whole = aes.ctr_crypt(iv, 0, data);
+
+    Bytes first(data.begin(), data.begin() + 32);
+    Bytes second(data.begin() + 32, data.end());
+    Bytes part1 = aes.ctr_crypt(iv, 0, first);
+    Bytes part2 = aes.ctr_crypt(iv, 2, second);
+    part1.insert(part1.end(), part2.begin(), part2.end());
+    EXPECT_EQ(part1, whole);
+}
+
+TEST(Aes128, DistinctIvDistinctStream)
+{
+    Aes128 aes(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+    Bytes zeros(32, 0);
+    std::array<uint8_t, 12> iv1{}, iv2{};
+    iv2[0] = 1;
+    EXPECT_NE(aes.ctr_crypt(iv1, 0, zeros), aes.ctr_crypt(iv2, 0, zeros));
+}
+
+} // namespace
+} // namespace occlum::crypto

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Host-world tests: block device cost charging, the NetSim bandwidth
+ * and latency model (busy-until link sharing, arrival times, EOF on
+ * close), and the base utilities (bytes, stats, rng).
+ */
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/stats.h"
+#include "host/host.h"
+
+namespace occlum::host {
+namespace {
+
+TEST(BlockDevice, ChargesDiskCosts)
+{
+    SimClock clock;
+    BlockDevice device(clock, 16);
+    Bytes block(BlockDevice::kBlockSize, 0xaa);
+    uint64_t before = clock.cycles();
+    ASSERT_TRUE(device.write_block(3, block).ok());
+    uint64_t write_cost = clock.cycles() - before;
+    EXPECT_GE(write_cost,
+              static_cast<uint64_t>(BlockDevice::kBlockSize *
+                                    CostModel::kDiskWriteCyclesPerByte));
+    before = clock.cycles();
+    Bytes back;
+    ASSERT_TRUE(device.read_block(3, back).ok());
+    EXPECT_EQ(back, block);
+    uint64_t read_cost = clock.cycles() - before;
+    EXPECT_LT(read_cost, write_cost); // SSD reads ~4.5x faster
+    // Bounds checked.
+    EXPECT_FALSE(device.read_block(16, back).ok());
+    EXPECT_FALSE(device.write_block(0, Bytes(100)).ok());
+}
+
+TEST(NetSim, ConnectionLifecycleAndLatency)
+{
+    SimClock clock;
+    NetSim net(clock);
+    ASSERT_TRUE(net.listen(80, 4));
+    EXPECT_FALSE(net.listen(80, 4)); // port taken
+    EXPECT_FALSE(net.connect(81).ok()); // refused
+
+    auto conn = net.connect(80);
+    ASSERT_TRUE(conn.ok());
+    // SYN in flight: not acceptable yet.
+    EXPECT_EQ(net.try_accept(80, clock.cycles()), nullptr);
+    uint64_t syn_arrival = net.next_accept_time(80);
+    EXPECT_GT(syn_arrival, clock.cycles());
+    clock.advance(syn_arrival - clock.cycles());
+    NetSim::Connection *server_side = net.try_accept(80, clock.cycles());
+    ASSERT_NE(server_side, nullptr);
+    EXPECT_EQ(server_side, conn.value());
+
+    // Client sends; data arrives after transfer + half RTT.
+    Bytes payload(1000, 0x5a);
+    net.send(conn.value(), false, payload.data(), payload.size());
+    uint8_t buf[2048];
+    uint64_t next_arrival = ~0ull;
+    EXPECT_EQ(net.recv(server_side, true, buf, sizeof(buf),
+                       clock.cycles(), next_arrival),
+              0u);
+    ASSERT_NE(next_arrival, ~0ull);
+    uint64_t min_cycles =
+        static_cast<uint64_t>(1000 * CostModel::kNetCyclesPerByte) +
+        CostModel::kNetRttCycles / 2;
+    EXPECT_GE(next_arrival - clock.cycles(), min_cycles);
+    clock.advance(next_arrival - clock.cycles());
+    EXPECT_EQ(net.recv(server_side, true, buf, sizeof(buf),
+                       clock.cycles(), next_arrival),
+              1000u);
+
+    // Close -> EOF at the peer once drained.
+    net.close(conn.value(), false);
+    EXPECT_TRUE(net.is_drained(server_side, true, clock.cycles()));
+}
+
+TEST(NetSim, SharedLinkSerializesTransfers)
+{
+    // Two large sends back to back: the second's arrival is pushed
+    // out by the first's occupancy of the 1 Gbps link.
+    SimClock clock;
+    NetSim net(clock);
+    ASSERT_TRUE(net.listen(80, 4));
+    auto c1 = net.connect(80);
+    auto c2 = net.connect(80);
+    ASSERT_TRUE(c1.ok() && c2.ok());
+    Bytes mb(1 << 20, 1);
+    net.send(c1.value(), false, mb.data(), mb.size());
+    net.send(c2.value(), false, mb.data(), mb.size());
+    clock.advance(CostModel::kNetRttCycles);
+    uint64_t a1 = ~0ull, a2 = ~0ull;
+    uint8_t buf[1];
+    net.recv(c1.value(), true, buf, 0, clock.cycles(), a1);
+    net.recv(c2.value(), true, buf, 0, clock.cycles(), a2);
+    ASSERT_NE(a1, ~0ull);
+    ASSERT_NE(a2, ~0ull);
+    uint64_t transfer =
+        static_cast<uint64_t>(mb.size() * CostModel::kNetCyclesPerByte);
+    EXPECT_GE(a2, a1 + transfer); // serialized on the shared link
+}
+
+TEST(HostFileStore, BasicOps)
+{
+    HostFileStore store;
+    EXPECT_FALSE(store.exists("/a"));
+    store.put("/a", {1, 2, 3});
+    EXPECT_TRUE(store.exists("/a"));
+    EXPECT_EQ(store.get("/a").value()->size(), 3u);
+    store.remove("/a");
+    EXPECT_FALSE(store.get("/a").ok());
+}
+
+// ---- base utilities -----------------------------------------------------
+
+TEST(Base, BytesHexRoundTrip)
+{
+    Bytes data = {0x00, 0xde, 0xad, 0xbe, 0xef, 0xff};
+    EXPECT_EQ(to_hex(data), "00deadbeefff");
+    EXPECT_EQ(from_hex("00deadbeefff"), data);
+    Bytes out;
+    put_le<uint32_t>(out, 0x11223344);
+    EXPECT_EQ(get_le<uint32_t>(out.data()), 0x11223344u);
+    set_le<uint16_t>(out.data(), 0xaabb);
+    EXPECT_EQ(out[0], 0xbb);
+    EXPECT_EQ(out[1], 0xaa);
+}
+
+TEST(Base, RngIsDeterministicAndSpread)
+{
+    Rng a(7), b(7), c(8);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next(), b.next());
+    }
+    EXPECT_NE(Rng(7).next(), c.next());
+    // next_below respects the bound.
+    Rng r(1);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.next_below(17), 17u);
+        double d = r.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Base, SimClockConversions)
+{
+    SimClock clock;
+    clock.advance(3'500'000); // 1 ms at 3.5 GHz
+    EXPECT_DOUBLE_EQ(clock.millis(), 1.0);
+    EXPECT_DOUBLE_EQ(clock.micros(), 1000.0);
+    EXPECT_DOUBLE_EQ(SimClock::cycles_to_seconds(7'000'000'000ull), 2.0);
+}
+
+TEST(Base, AggregateAndFormat)
+{
+    Aggregate agg;
+    agg.add(1.0);
+    agg.add(3.0);
+    agg.add(2.0);
+    EXPECT_EQ(agg.count(), 3u);
+    EXPECT_DOUBLE_EQ(agg.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(agg.min(), 1.0);
+    EXPECT_DOUBLE_EQ(agg.max(), 3.0);
+    EXPECT_EQ(format_time_us(12.3), "12.3us");
+    EXPECT_EQ(format_time_us(12345.0), "12.35ms");
+    EXPECT_EQ(format_time_us(3.2e6), "3.200s");
+    EXPECT_EQ(format_mbps(999.0), "999.0MB/s");
+    EXPECT_EQ(format_mbps(1500.0), "1.50GB/s");
+}
+
+} // namespace
+} // namespace occlum::host

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Kernel-core and loader tests: domain layout invariants, PCB
+ * contents, syscall edge cases (bad fds, EFAULT pointers, fd
+ * inheritance, dup2), pipe semantics (EOF, EPIPE, backpressure), and
+ * scheduler behaviour under blocking.
+ */
+#include <gtest/gtest.h>
+
+#include "baseline/linux_system.h"
+#include "oskit/loader.h"
+#include "toolchain/minic.h"
+
+namespace occlum::oskit {
+namespace {
+
+oelf::Image
+small_image()
+{
+    auto out = toolchain::compile("func main() { return 0; }");
+    EXPECT_TRUE(out.ok());
+    return out.value().image;
+}
+
+TEST(Loader, DomainLayoutInvariants)
+{
+    oelf::Image image = small_image();
+    vm::AddressSpace space;
+    LoadOptions options;
+    options.domain_id = 9;
+    auto domain =
+        load_image(space, image, 0x40000000, {"prog", "a1"}, options);
+    ASSERT_TRUE(domain.ok());
+    const LoadedDomain &d = domain.value();
+
+    // Geometry: T | C | G1 | D | G2 with unmapped guards.
+    EXPECT_EQ(d.c_begin, d.base + oelf::kTrampSize);
+    EXPECT_EQ(d.d_begin,
+              d.c_begin + image.code_region_size() + oelf::kGuardSize);
+    EXPECT_FALSE(space.is_mapped(d.d_begin - oelf::kGuardSize,
+                                 oelf::kGuardSize)); // G1
+    EXPECT_FALSE(space.is_mapped(d.d_end, oelf::kGuardSize)); // G2
+    EXPECT_TRUE(space.is_mapped(d.base,
+                                oelf::kTrampSize +
+                                    image.code_region_size()));
+    EXPECT_TRUE(space.is_mapped(d.d_begin, d.d_end - d.d_begin));
+    // Permissions: code RX (no W), data RW (no X).
+    EXPECT_EQ(space.perms_at(d.c_begin), vm::kPermRX);
+    EXPECT_EQ(space.perms_at(d.d_begin), vm::kPermRW);
+    // Heap and stack live inside D.
+    EXPECT_GE(d.heap_begin, d.d_begin);
+    EXPECT_LE(d.mmap_end, d.d_end);
+    EXPECT_LT(d.stack_top, d.d_end);
+
+    // PCB fields.
+    auto read64 = [&](uint64_t off) {
+        uint64_t v = 0;
+        EXPECT_EQ(space.read_raw(d.d_begin + off, &v, 8),
+                  vm::AccessFault::kNone);
+        return v;
+    };
+    EXPECT_EQ(read64(abi::kPcbTrampoline), d.base);
+    EXPECT_EQ(read64(abi::kPcbDomainId), 9u);
+    EXPECT_EQ(read64(abi::kPcbHeapBegin), d.heap_begin);
+    EXPECT_EQ(read64(abi::kPcbHeapEnd), d.heap_end);
+    EXPECT_EQ(read64(abi::kPcbArgc), 2u);
+
+    // The trampoline starts with this domain's cfi_label.
+    uint64_t gate = 0;
+    EXPECT_EQ(space.read_raw(d.base, &gate, 8), vm::AccessFault::kNone);
+    EXPECT_EQ(gate, isa::cfi_label_value(9));
+}
+
+TEST(Loader, CfiLabelsRewrittenToDomainId)
+{
+    oelf::Image image = small_image();
+    vm::AddressSpace space;
+    LoadOptions options;
+    options.domain_id = 0x1234;
+    auto domain = load_image(space, image, 0x40000000, {"p"}, options);
+    ASSERT_TRUE(domain.ok());
+    // Every cfi_label in loaded code carries the new domain ID.
+    Bytes code(image.code.size());
+    ASSERT_EQ(space.read_raw(domain.value().c_begin, code.data(),
+                             code.size()),
+              vm::AccessFault::kNone);
+    int found = 0;
+    for (size_t i = 0; i + 8 <= code.size(); ++i) {
+        if (std::equal(std::begin(isa::kCfiMagic),
+                       std::end(isa::kCfiMagic), code.begin() + i)) {
+            EXPECT_EQ(get_le<uint32_t>(code.data() + i + 4), 0x1234u);
+            ++found;
+            i += 7;
+        }
+    }
+    EXPECT_GT(found, 0);
+}
+
+TEST(Loader, RejectsOversizedArgv)
+{
+    oelf::Image image = small_image();
+    vm::AddressSpace space;
+    std::vector<std::string> argv = {"p", std::string(2000, 'x')};
+    EXPECT_FALSE(
+        load_image(space, image, 0x40000000, argv, {}).ok());
+}
+
+// ---- syscall edge cases through the Linux personality -----------------
+
+struct KernelHarness {
+    SimClock clock;
+    host::HostFileStore files;
+    baseline::LinuxSystem sys{clock, files};
+
+    int64_t
+    run(const std::string &source,
+        const std::vector<std::string> &argv = {"prog"})
+    {
+        auto out = toolchain::compile(source);
+        EXPECT_TRUE(out.ok())
+            << (out.ok() ? "" : out.error().message);
+        files.put("prog", out.value().image.serialize());
+        auto pid = sys.spawn("prog", argv);
+        EXPECT_TRUE(pid.ok());
+        sys.run();
+        auto code = sys.exit_code(pid.value());
+        return code.ok() ? code.value() : -999;
+    }
+};
+
+TEST(Syscalls, BadFdsReturnEbadf)
+{
+    KernelHarness h;
+    EXPECT_EQ(h.run(R"(
+global byte b[8];
+func main() {
+    var e = 0;
+    if (read(99, b, 8) != -9) { e = 1; }      // EBADF = 9
+    if (write(42, b, 8) != -9) { e = e + 2; }
+    if (close(7) != -9) { e = e + 4; }
+    if (syscall(10, 88, 0, 0) != -9) { e = e + 8; } // lseek
+    return e;
+}
+)"),
+              0);
+}
+
+TEST(Syscalls, BadPointersReturnEfault)
+{
+    KernelHarness h;
+    EXPECT_EQ(h.run(R"(
+func main() {
+    // Address far outside the process image.
+    if (write(1, 0x7777777000, 8) != -14) { return 1; } // EFAULT
+    var fds[2];
+    if (syscall(8, 0x7777777000) != -14) { return 2; }  // pipe
+    return 0;
+}
+)"),
+              0);
+}
+
+TEST(Syscalls, PipeEofAndEpipe)
+{
+    KernelHarness h;
+    EXPECT_EQ(h.run(R"(
+global byte b[16];
+func main() {
+    var fds[2];
+    pipe(fds);
+    write(fds[1], "xy", 2);
+    close(fds[1]);                 // no more writers
+    if (read(fds[0], b, 16) != 2) { return 1; }
+    if (read(fds[0], b, 16) != 0) { return 2; }   // EOF
+    var fds2[2];
+    pipe(fds2);
+    close(fds2[0]);                // no readers
+    if (write(fds2[1], "z", 1) != -32) { return 3; } // EPIPE
+    return 0;
+}
+)"),
+              0);
+}
+
+TEST(Syscalls, Dup2RedirectsAndSharesOffset)
+{
+    KernelHarness h;
+    h.files.put("/f.txt", Bytes{});
+    EXPECT_EQ(h.run(R"(
+global byte p[12] = "/f.txt";
+global byte b[32];
+func main() {
+    var fd = open(p, 0x42);   // CREAT|WRONLY
+    dup2(fd, 1);              // stdout -> file
+    print("to-file");
+    close(fd);
+    close(1);
+    fd = open(p, 0);
+    var n = read(fd, b, 32);
+    return n;
+}
+)"),
+              7);
+}
+
+TEST(Syscalls, WaitpidUnknownChildReturnsEchild)
+{
+    KernelHarness h;
+    EXPECT_EQ(h.run("func main() { return waitpid(777); }"),
+              -static_cast<int64_t>(ErrorCode::kChild));
+}
+
+TEST(Syscalls, GetPidAndTimeAdvance)
+{
+    KernelHarness h;
+    EXPECT_EQ(h.run(R"(
+func main() {
+    if (getpid() < 1) { return 1; }
+    var t0 = time_ns();
+    var i = 0;
+    while (i < 10000) { i = i + 1; }
+    var t1 = time_ns();
+    if (t1 <= t0) { return 2; }
+    return 0;
+}
+)"),
+              0);
+}
+
+TEST(Syscalls, KillTerminatesTarget)
+{
+    KernelHarness h;
+    auto out = toolchain::compile(R"(
+func main() {
+    while (1) { yield(); }
+    return 0;
+}
+)");
+    ASSERT_TRUE(out.ok());
+    h.files.put("spinner", out.value().image.serialize());
+    EXPECT_EQ(h.run(R"(
+global byte s[12] = "spinner";
+func main() {
+    var argvv[1];
+    argvv[0] = s;
+    var pid = spawn(s, argvv, 1);
+    kill(pid, 15);
+    var status = waitpid(pid);
+    return status == -15;
+}
+)"),
+              1);
+}
+
+TEST(Syscalls, MmapExhaustionReturnsEnomem)
+{
+    KernelHarness h;
+    EXPECT_EQ(h.run(R"(
+func main() {
+    var total = 0;
+    while (1) {
+        var p = mmap(65536);
+        if (p < 0) { return p == -12; }  // ENOMEM
+        total = total + 1;
+        if (total > 1000) { return 0; }  // should exhaust first
+    }
+    return 0;
+}
+)"),
+              1);
+}
+
+TEST(Syscalls, FaultingProcessIsReapedWithFaultCause)
+{
+    KernelHarness h;
+    auto out = toolchain::compile(
+        "func main() { wstore(0x12345, 1); return 0; }");
+    ASSERT_TRUE(out.ok());
+    h.files.put("prog", out.value().image.serialize());
+    auto pid = h.sys.spawn("prog", {"prog"});
+    ASSERT_TRUE(pid.ok());
+    h.sys.run();
+    auto record = h.sys.death_record(pid.value());
+    ASSERT_TRUE(record.ok());
+    EXPECT_EQ(record.value().cause, DeathCause::kFault);
+    EXPECT_EQ(record.value().fault_addr, 0x12345u);
+}
+
+} // namespace
+} // namespace occlum::oskit

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * System-level security tests for the paper's §3.1 goals:
+ * inter-process isolation and process-LibOS isolation — exercised
+ * with *runtime* attacks from verified (hence loadable) SIPs, plus
+ * the §7 analysis cases (code injection, ROP confinement).
+ */
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "libos/occlum_system.h"
+#include "oelf/abi.h"
+#include "toolchain/minic.h"
+#include "verifier/verifier.h"
+#include "workloads/workloads.h"
+
+namespace occlum::libos {
+namespace {
+
+using isa::Assembler;
+using isa::mem_bd;
+
+struct SecurityHarness {
+    sgx::Platform platform;
+    host::HostFileStore binaries;
+    std::unique_ptr<OcclumSystem> sys;
+
+    SecurityHarness()
+    {
+        OcclumSystem::Config config;
+        config.verifier_key = workloads::bench_verifier_key();
+        sys = std::make_unique<OcclumSystem>(platform, binaries, config);
+    }
+
+    void
+    add(const std::string &name, const std::string &source)
+    {
+        binaries.put(name,
+                     workloads::build_program(source).occlum);
+    }
+
+    oskit::DeathRecord
+    run_to_death(const std::string &name)
+    {
+        auto pid = sys->spawn(name, {name});
+        EXPECT_TRUE(pid.ok()) << (pid.ok() ? "" : pid.error().message);
+        sys->set_quantum(100000);
+        for (int i = 0; i < 200 && !sys->all_exited(); ++i) {
+            sys->step_round();
+        }
+        EXPECT_TRUE(sys->all_exited());
+        auto record = sys->death_record(pid.value());
+        EXPECT_TRUE(record.ok());
+        return record.ok() ? record.value() : oskit::DeathRecord{};
+    }
+};
+
+TEST(Isolation, SipCannotWalkOutOfItsDataRegion)
+{
+    // A verified SIP sweeps pointers across the whole address space
+    // through wstore; every out-of-domain store must die in the
+    // mem_guard (#BR), never reach another domain.
+    SecurityHarness h;
+    h.add("victim", R"(
+global int canary[4];
+func main() {
+    canary[0] = 12345;
+    // Stay alive long enough to be attacked, then report the canary.
+    var spin = 0;
+    while (spin < 2000000) { spin = spin + 1; }
+    return canary[0] == 12345;
+}
+)");
+    h.add("attacker", R"(
+func main() {
+    // Probe far outside this SIP's own data region: one slot up.
+    var target = heap_begin() + 9 * 1024 * 1024;
+    wstore(target, 0x41414141);
+    return 0;
+}
+)");
+    auto victim_pid = h.sys->spawn("victim", {"victim"});
+    ASSERT_TRUE(victim_pid.ok());
+    auto attacker_pid = h.sys->spawn("attacker", {"attacker"});
+    ASSERT_TRUE(attacker_pid.ok());
+    h.sys->run();
+    // The attacker died on the bound check...
+    auto attacker_record = h.sys->death_record(attacker_pid.value());
+    ASSERT_TRUE(attacker_record.ok());
+    EXPECT_EQ(attacker_record.value().cause, oskit::DeathCause::kFault);
+    EXPECT_EQ(attacker_record.value().fault,
+              vm::FaultKind::kBoundRange);
+    // ...and the victim's memory is intact.
+    EXPECT_EQ(h.sys->exit_code(victim_pid.value()).value(), 1);
+}
+
+TEST(Isolation, SyscallBuffersConfinedToCallersDomain)
+{
+    // The LibOS must not act as a confused deputy: write() with a
+    // pointer outside the caller's D region returns EFAULT (14).
+    SecurityHarness h;
+    h.add("deputy", R"(
+func main() {
+    var outside = heap_begin() - 2 * 1024 * 1024; // below D.begin
+    if (write(1, outside, 64) != -14) { return 1; }
+    var way_out = heap_begin() + 16 * 1024 * 1024;
+    if (write(1, way_out, 64) != -14) { return 2; }
+    return 0;
+}
+)");
+    EXPECT_EQ(h.run_to_death("deputy").code, 0);
+}
+
+TEST(Isolation, SyscallReturnTargetValidated)
+{
+    // Paper §6: the LibOS checks that the syscall return address is a
+    // cfi_label of the calling SIP. A hand-built SIP pushes a forged
+    // return address before calling the gate.
+    Assembler a;
+    a.cfi_label(0);
+    // r2 = D.begin (from sp), r14 = gate.
+    oelf::Image shape;
+    shape.heap_size = 1 << 16;
+    shape.stack_size = 1 << 14;
+    shape.code_reserve = 1 << 20;
+    a.mov_rr(2, isa::kSp);
+    a.sub_ri(2, static_cast<int32_t>(shape.data_region_size() - 16));
+    a.mem_guard(mem_bd(2, 0));
+    a.load(14, mem_bd(2, 0));
+    // Forged return address: some non-label code location (here: the
+    // middle of this very instruction stream).
+    {
+        isa::Instruction lea;
+        lea.op = isa::Opcode::kLea;
+        lea.reg1 = 3;
+        lea.mem.mode = isa::AddrMode::kRipRel;
+        a.emit_mem_ref(lea, "not_a_label");
+    }
+    a.push(3);
+    {
+        isa::Instruction num;
+        num.op = isa::Opcode::kMovRI;
+        num.reg1 = 0;
+        num.imm = static_cast<int64_t>(abi::Sys::kGetPid);
+        a.emit(num);
+    }
+    a.cfi_guard(14);
+    // jmp (not call): the forged slot on the stack is what the LibOS
+    // will pop as the "return address".
+    a.jmp_reg(14);
+    a.bind("not_a_label");
+    a.nop();
+    a.bind("spin");
+    a.jmp("spin");
+    shape.code = a.finish();
+    shape.entry_offset = 0;
+    shape.flags = oelf::kFlagInstrumented;
+
+    verifier::Verifier verifier(workloads::bench_verifier_key());
+    auto signed_image = verifier.verify_and_sign(shape);
+    ASSERT_TRUE(signed_image.ok()) << signed_image.error().message;
+
+    SecurityHarness h;
+    h.binaries.put("forger", signed_image.value().serialize());
+    auto record = h.run_to_death("forger");
+    EXPECT_EQ(record.cause, oskit::DeathCause::kFault);
+}
+
+TEST(Isolation, CodeInjectionBlockedByPagePermissions)
+{
+    // §7 case 1: even with a perfectly forged cfi_label in D, the
+    // jump dies because D pages are never executable under Occlum.
+    SecurityHarness h;
+    h.add("injector", R"(
+func main() {
+    var buf = malloc(64);
+    // Forge the label value for this domain and plant it.
+    var pcb = heap_begin() - 1; // cannot read PCB portably; use the
+    // legal route: bload of the domain id is inside D.
+    return 0;
+}
+)");
+    // The full injection attack is covered by bench_ripe_security;
+    // here assert the root cause: D region pages carry no X.
+    uint64_t d_page = 0;
+    {
+        auto pid = h.sys->spawn("injector", {"injector"});
+        ASSERT_TRUE(pid.ok());
+        const oskit::Process *proc = h.sys->find_process(pid.value());
+        ASSERT_NE(proc, nullptr);
+        d_page = proc->d_begin;
+        EXPECT_EQ(h.sys->enclave().mem().perms_at(d_page), vm::kPermRW);
+        EXPECT_EQ(h.sys->enclave().mem().perms_at(proc->domain_base),
+                  vm::kPermRX);
+        h.sys->run();
+    }
+}
+
+TEST(Isolation, VerifierGatekeepsTheLoader)
+{
+    // End-to-end TCB story: a binary that would break isolation
+    // (unguarded store) cannot obtain a signature, so the loader
+    // refuses it even when the attacker controls the host store.
+    Assembler a;
+    a.cfi_label(0);
+    a.mov_ri(1, 0x900000000);
+    a.store(mem_bd(1, 0), 2);
+    a.bind("spin");
+    a.jmp("spin");
+    oelf::Image evil;
+    evil.code = a.finish();
+    evil.entry_offset = 0;
+    evil.code_reserve = 1 << 20;
+    evil.flags = oelf::kFlagInstrumented;
+
+    verifier::Verifier verifier(workloads::bench_verifier_key());
+    EXPECT_FALSE(verifier.verify_and_sign(evil).ok());
+
+    // Self-signing without the verifier key fails at load.
+    crypto::Key128 attacker_key{};
+    attacker_key[0] = 0xEE;
+    evil.sign(attacker_key);
+    SecurityHarness h;
+    h.binaries.put("evil", evil.serialize());
+    EXPECT_FALSE(h.sys->spawn("evil", {"evil"}).ok());
+}
+
+TEST(Isolation, ExitedSipSlotIsScrubbedBeforeReuse)
+{
+    // A secret written by SIP #1 must not be readable by SIP #2
+    // loaded into the recycled slot.
+    SecurityHarness h;
+    h.add("secretive", R"(
+global int secret[4];
+func main() {
+    secret[0] = 0x5ec2e7;
+    return 0;
+}
+)");
+    h.add("snoop", R"(
+global int probe[4];
+func main() {
+    // Sweep this SIP's own data region for the previous tenant's
+    // secret (same slot, same offsets).
+    var p = heap_begin();
+    var e = heap_end();
+    while (p + 8 <= e) {
+        if (wload(p) == 0x5ec2e7) { return 1; }
+        p = p + 8;
+    }
+    if (probe[0] == 0x5ec2e7) { return 2; }
+    return 0;
+}
+)");
+    auto p1 = h.sys->spawn("secretive", {"secretive"});
+    ASSERT_TRUE(p1.ok());
+    h.sys->run();
+    auto p2 = h.sys->spawn("snoop", {"snoop"});
+    ASSERT_TRUE(p2.ok());
+    h.sys->run();
+    EXPECT_EQ(h.sys->exit_code(p2.value()).value(), 0);
+}
+
+} // namespace
+} // namespace occlum::libos

@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Unit tests for the VM: address-space mapping/permissions, CPU
+ * arithmetic and control flow, stack ops, bound-register faults, and
+ * the guard-region fault behaviour MMDSFI relies on.
+ */
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "vm/address_space.h"
+#include "vm/cpu.h"
+
+namespace occlum::vm {
+namespace {
+
+using isa::Cond;
+using isa::mem_abs;
+using isa::mem_bd;
+using isa::mem_rip;
+using isa::mem_sib;
+
+constexpr uint64_t kCode = 0x10000;
+constexpr uint64_t kData = 0x20000;
+constexpr uint64_t kStackTop = 0x30000;
+
+/** Map code+data+stack and run the assembled program until exit. */
+class VmHarness
+{
+  public:
+    VmHarness() : cpu(space)
+    {
+        EXPECT_TRUE(space.map(kCode, 0x1000, kPermRX).ok());
+        EXPECT_TRUE(space.map(kData, 0x1000, kPermRW).ok());
+        EXPECT_TRUE(space.map(kStackTop - 0x2000, 0x2000, kPermRW).ok());
+        cpu.set_sp(kStackTop - 8);
+    }
+
+    CpuExit
+    run(isa::Assembler &a, uint64_t budget = 1'000'000)
+    {
+        Bytes code = a.finish();
+        EXPECT_LE(code.size(), 0x1000u);
+        EXPECT_EQ(space.write_raw(kCode, code.data(), code.size()),
+                  AccessFault::kNone);
+        space.touch_code();
+        cpu.set_rip(kCode);
+        return cpu.run(budget);
+    }
+
+    AddressSpace space;
+    Cpu cpu;
+};
+
+TEST(AddressSpace, MapUnmapProtect)
+{
+    AddressSpace space;
+    EXPECT_TRUE(space.map(0x1000, 0x2000, kPermRW).ok());
+    EXPECT_FALSE(space.map(0x2000, 0x1000, kPermRW).ok()); // overlap
+    EXPECT_FALSE(space.map(0x1234, 0x1000, kPermRW).ok()); // unaligned
+    EXPECT_TRUE(space.is_mapped(0x1000, 0x2000));
+    EXPECT_EQ(space.perms_at(0x1fff), kPermRW);
+    EXPECT_TRUE(space.protect(0x1000, 0x1000, kPermR).ok());
+    EXPECT_EQ(space.perms_at(0x1000), kPermR);
+    space.unmap(0x1000, 0x1000);
+    EXPECT_FALSE(space.is_mapped(0x1000, 0x1000));
+    EXPECT_TRUE(space.is_mapped(0x2000, 0x1000));
+}
+
+TEST(AddressSpace, PermissionEnforcement)
+{
+    AddressSpace space;
+    ASSERT_TRUE(space.map(0x1000, 0x1000, kPermR).ok());
+    uint64_t v = 42;
+    EXPECT_EQ(space.write(0x1000, &v, 8), AccessFault::kNoWrite);
+    EXPECT_EQ(space.read(0x1000, &v, 8), AccessFault::kNone);
+    EXPECT_EQ(space.fetch(0x1000, &v, 1), AccessFault::kNoExec);
+    EXPECT_EQ(space.read(0x5000, &v, 8), AccessFault::kUnmapped);
+    // Trusted raw access bypasses permissions but not mapping.
+    EXPECT_EQ(space.write_raw(0x1000, &v, 8), AccessFault::kNone);
+    EXPECT_EQ(space.write_raw(0x5000, &v, 8), AccessFault::kUnmapped);
+}
+
+TEST(AddressSpace, CrossPageAccess)
+{
+    AddressSpace space;
+    ASSERT_TRUE(space.map(0x1000, 0x2000, kPermRW).ok());
+    uint64_t v = 0x1122334455667788ull;
+    EXPECT_EQ(space.write(0x1ffc, &v, 8), AccessFault::kNone);
+    uint64_t back = 0;
+    EXPECT_EQ(space.read(0x1ffc, &back, 8), AccessFault::kNone);
+    EXPECT_EQ(back, v);
+    // Partially unmapped cross-page access faults.
+    EXPECT_EQ(space.write(0x2ffc, &v, 8), AccessFault::kUnmapped);
+}
+
+TEST(Cpu, ArithmeticAndMov)
+{
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(1, 10);
+    a.mov_ri(2, 3);
+    a.add_rr(1, 2);   // 13
+    a.mul_ri(1, 4);   // 52
+    a.sub_ri(1, 2);   // 50
+    a.mov_rr(3, 1);
+    a.div_rr(3, 2);   // 16 (50/3)
+    a.mod_rr(1, 2);   // 2
+    a.ltrap();
+    CpuExit exit = h.run(a);
+    EXPECT_EQ(exit.kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.reg(3), 16u);
+    EXPECT_EQ(h.cpu.reg(1), 2u);
+}
+
+TEST(Cpu, SignedDivision)
+{
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(1, -50);
+    a.mov_ri(2, 3);
+    a.div_rr(1, 2);
+    a.mov_ri(3, -50);
+    a.mod_rr(3, 2);
+    a.ltrap();
+    CpuExit exit = h.run(a);
+    EXPECT_EQ(exit.kind, ExitKind::kLtrap);
+    EXPECT_EQ(static_cast<int64_t>(h.cpu.reg(1)), -16);
+    EXPECT_EQ(static_cast<int64_t>(h.cpu.reg(3)), -2);
+}
+
+TEST(Cpu, DivideByZeroFaults)
+{
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(1, 5);
+    a.mov_ri(2, 0);
+    a.div_rr(1, 2);
+    CpuExit exit = h.run(a);
+    EXPECT_EQ(exit.kind, ExitKind::kFault);
+    EXPECT_EQ(exit.fault, FaultKind::kDivide);
+}
+
+TEST(Cpu, ShiftsAndBitwise)
+{
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(1, 0xf0);
+    a.shl_ri(1, 4);       // 0xf00
+    a.or_ri(1, 0x0f);     // 0xf0f
+    a.and_ri(1, 0xff);    // 0x0f
+    a.xor_ri(1, 0xff);    // 0xf0
+    a.mov_ri(2, -8);
+    a.sar_ri(2, 1);       // -4
+    a.mov_ri(3, -8);
+    a.shr_ri(3, 60);      // high bits of two's complement
+    a.not_(1);
+    a.neg(2);
+    a.ltrap();
+    CpuExit exit = h.run(a);
+    EXPECT_EQ(exit.kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.reg(1), ~0xf0ull);
+    EXPECT_EQ(static_cast<int64_t>(h.cpu.reg(2)), 4);
+    EXPECT_EQ(h.cpu.reg(3), 0xfull);
+}
+
+TEST(Cpu, LoadStoreAllWidths)
+{
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(1, kData);
+    a.mov_ri(2, static_cast<int64_t>(0x1122334455667788ull));
+    a.store(mem_bd(1, 0), 2);
+    a.load(3, mem_bd(1, 0));
+    a.store8(mem_bd(1, 16), 2);
+    a.load8(4, mem_bd(1, 16));
+    a.store32(mem_bd(1, 32), 2);
+    a.load32(5, mem_bd(1, 32));
+    // SIB addressing: kData + 2*8 + 0
+    a.mov_ri(6, 2);
+    a.store(mem_sib(1, 6, 3, 0), 2);
+    a.load(7, mem_bd(1, 16)); // overlaps store8 slot; check little endian
+    a.ltrap();
+    CpuExit exit = h.run(a);
+    EXPECT_EQ(exit.kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.reg(3), 0x1122334455667788ull);
+    EXPECT_EQ(h.cpu.reg(4), 0x88ull);
+    EXPECT_EQ(h.cpu.reg(5), 0x55667788ull);
+    EXPECT_EQ(h.cpu.reg(7), 0x1122334455667788ull);
+}
+
+TEST(Cpu, AbsoluteAndRipRelative)
+{
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(2, 777);
+    a.store(mem_abs(kData + 8), 2);
+    a.load(3, mem_abs(kData + 8));
+    a.lea(4, mem_rip(0)); // address after the lea
+    a.ltrap();
+    CpuExit exit = h.run(a);
+    EXPECT_EQ(exit.kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.reg(3), 777u);
+    // lea rip+0 = end of that instruction = ltrap address.
+    EXPECT_EQ(h.cpu.reg(4), exit.rip);
+}
+
+TEST(Cpu, ConditionalBranchMatrix)
+{
+    struct Case {
+        int64_t a, b;
+        Cond cond;
+        bool taken;
+    };
+    const Case cases[] = {
+        {5, 5, Cond::kEq, true},    {5, 6, Cond::kEq, false},
+        {5, 6, Cond::kNe, true},    {-1, 1, Cond::kLt, true},
+        {1, -1, Cond::kLt, false},  {-1, -1, Cond::kLe, true},
+        {2, 1, Cond::kGt, true},    {-5, -4, Cond::kGe, false},
+        {-1, 1, Cond::kB, false},   // unsigned: -1 is huge
+        {1, 2, Cond::kB, true},     {2, 2, Cond::kBe, true},
+        {-1, 1, Cond::kA, true},    {3, 3, Cond::kAe, true},
+    };
+    for (const auto &c : cases) {
+        VmHarness h;
+        isa::Assembler a(kCode);
+        a.mov_ri(1, c.a);
+        a.mov_ri(2, c.b);
+        a.mov_ri(3, 0);
+        a.cmp_rr(1, 2);
+        a.jcc(c.cond, "taken");
+        a.mov_ri(3, 1); // fallthrough marker
+        a.jmp("out");
+        a.bind("taken");
+        a.mov_ri(3, 2);
+        a.bind("out");
+        a.ltrap();
+        CpuExit exit = h.run(a);
+        ASSERT_EQ(exit.kind, ExitKind::kLtrap);
+        EXPECT_EQ(h.cpu.reg(3), c.taken ? 2u : 1u)
+            << c.a << " " << c.b << " " << isa::cond_name(c.cond);
+    }
+}
+
+TEST(Cpu, CallRetAndStack)
+{
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(1, 5);
+    a.call("double_it");
+    a.ltrap();
+    a.bind("double_it");
+    a.push(2);
+    a.mov_ri(2, 2);
+    a.mul_rr(1, 2);
+    a.pop(2);
+    a.ret();
+    CpuExit exit = h.run(a);
+    EXPECT_EQ(exit.kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.reg(1), 10u);
+    EXPECT_EQ(h.cpu.sp(), kStackTop - 8); // balanced
+}
+
+TEST(Cpu, IndirectJumpAndCall)
+{
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_rl(4, "target");
+    a.call_reg(4);
+    a.ltrap();
+    a.bind("target");
+    a.mov_ri(1, 99);
+    a.ret();
+    CpuExit exit = h.run(a);
+    EXPECT_EQ(exit.kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.reg(1), 99u);
+}
+
+TEST(Cpu, LoopExecutesExactly)
+{
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(1, 0);
+    a.mov_ri(2, 100);
+    a.bind("loop");
+    a.add_ri(1, 3);
+    a.sub_ri(2, 1);
+    a.cmp_ri(2, 0);
+    a.jcc(Cond::kNe, "loop");
+    a.ltrap();
+    CpuExit exit = h.run(a);
+    EXPECT_EQ(exit.kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.reg(1), 300u);
+}
+
+TEST(Cpu, GuardRegionFaultsLikeMmdsfiExpects)
+{
+    // Unmapped pages adjacent to data fault on access: the mechanism
+    // behind guard regions G1/G2 (paper §4.1).
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(1, kData + 0x1000); // first byte past the data page
+    a.store(mem_bd(1, 0), 2);
+    CpuExit exit = h.run(a);
+    EXPECT_EQ(exit.kind, ExitKind::kFault);
+    EXPECT_EQ(exit.fault, FaultKind::kPageFault);
+    EXPECT_EQ(exit.fault_addr, kData + 0x1000);
+}
+
+TEST(Cpu, StorePermissionFault)
+{
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(1, kCode); // code is RX
+    a.store(mem_bd(1, 0), 2);
+    CpuExit exit = h.run(a);
+    EXPECT_EQ(exit.kind, ExitKind::kFault);
+    EXPECT_EQ(exit.fault, FaultKind::kPermFault);
+}
+
+TEST(Cpu, ExecuteDataFaults)
+{
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(1, kData);
+    a.jmp_reg(1);
+    CpuExit exit = h.run(a);
+    EXPECT_EQ(exit.kind, ExitKind::kFault);
+    EXPECT_EQ(exit.fault, FaultKind::kExecFault);
+    EXPECT_EQ(exit.rip, kData);
+}
+
+TEST(Cpu, BoundCheckPassAndFail)
+{
+    VmHarness h;
+    h.cpu.set_bnd(0, {kData, kData + 0xfff});
+    isa::Assembler a(kCode);
+    a.mov_ri(1, kData + 100);
+    a.bndcl_mem(0, mem_bd(1, 0));
+    a.bndcu_mem(0, mem_bd(1, 0));
+    a.store(mem_bd(1, 0), 2);  // guarded access succeeds
+    a.mov_ri(1, kData + 0x1000);
+    a.bndcu_mem(0, mem_bd(1, 0)); // out of bounds: #BR
+    CpuExit exit = h.run(a);
+    EXPECT_EQ(exit.kind, ExitKind::kFault);
+    EXPECT_EQ(exit.fault, FaultKind::kBoundRange);
+    EXPECT_EQ(exit.fault_addr, kData + 0x1000);
+}
+
+TEST(Cpu, BoundCheckRegisterEquality)
+{
+    // cfi_guard semantics: bnd1 = [v, v] is an equality test.
+    VmHarness h;
+    uint64_t label = isa::cfi_label_value(7);
+    h.cpu.set_bnd(1, {label, label});
+    isa::Assembler a(kCode);
+    a.mov_ri(1, static_cast<int64_t>(label));
+    a.bndcl_reg(1, 1);
+    a.bndcu_reg(1, 1);
+    a.mov_ri(2, static_cast<int64_t>(label + 1));
+    a.bndcu_reg(1, 2); // fails
+    CpuExit exit = h.run(a);
+    EXPECT_EQ(exit.kind, ExitKind::kFault);
+    EXPECT_EQ(exit.fault, FaultKind::kBoundRange);
+}
+
+TEST(Cpu, PrivilegedInstructionsExit)
+{
+    for (auto make : {+[](isa::Assembler &a) { a.hlt(); },
+                      +[](isa::Assembler &a) { a.eexit(); },
+                      +[](isa::Assembler &a) { a.xrstor(); },
+                      +[](isa::Assembler &a) { a.wrfsbase(3); },
+                      +[](isa::Assembler &a) { a.bndmk(0, mem_bd(1, 0)); }}) {
+        VmHarness h;
+        isa::Assembler a(kCode);
+        make(a);
+        CpuExit exit = h.run(a);
+        EXPECT_EQ(exit.kind, ExitKind::kPrivileged);
+    }
+}
+
+TEST(Cpu, LtrapResumesAfterTrap)
+{
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(1, 1);
+    a.ltrap();
+    a.mov_ri(1, 2);
+    a.ltrap();
+    Bytes code = a.finish();
+    ASSERT_EQ(h.space.write_raw(kCode, code.data(), code.size()),
+              AccessFault::kNone);
+    h.space.touch_code();
+    h.cpu.set_rip(kCode);
+    CpuExit first = h.cpu.run(1000);
+    EXPECT_EQ(first.kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.reg(1), 1u);
+    CpuExit second = h.cpu.run(1000);
+    EXPECT_EQ(second.kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.reg(1), 2u);
+}
+
+TEST(Cpu, InstructionBudgetStopsLoops)
+{
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.bind("spin");
+    a.jmp("spin");
+    CpuExit exit = h.run(a, 1000);
+    EXPECT_EQ(exit.kind, ExitKind::kInstrBudget);
+}
+
+TEST(Cpu, CyclesAccumulate)
+{
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(1, 7);
+    a.ltrap();
+    h.run(a);
+    EXPECT_GT(h.cpu.cycles(), 0u);
+    EXPECT_EQ(h.cpu.instructions(), 2u);
+}
+
+TEST(Cpu, JumpIntoMiddleOfInstructionDecodesDifferently)
+{
+    // The variable-length property: a mov_ri whose immediate encodes a
+    // valid instruction stream can be entered mid-instruction. Here
+    // the middle bytes decode as `nop`s; landing there must NOT be an
+    // invalid-opcode fault but execute *different* instructions —
+    // exactly the hazard MMDSFI's CFI closes.
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(1, 0); // 10 bytes: opcode, reg, 8x 0x00 (nop opcodes)
+    a.ltrap();
+    Bytes code = a.finish();
+    ASSERT_EQ(h.space.write_raw(kCode, code.data(), code.size()),
+              AccessFault::kNone);
+    h.space.touch_code();
+    h.cpu.set_rip(kCode + 2); // into the immediate: eight nops
+    CpuExit exit = h.cpu.run(100);
+    EXPECT_EQ(exit.kind, ExitKind::kLtrap); // fell through to ltrap
+    EXPECT_EQ(h.cpu.instructions(), 9u);    // 8 nops + ltrap
+}
+
+} // namespace
+} // namespace occlum::vm
