@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_fish.dir/bench_fig5a_fish.cc.o"
+  "CMakeFiles/bench_fig5a_fish.dir/bench_fig5a_fish.cc.o.d"
+  "bench_fig5a_fish"
+  "bench_fig5a_fish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_fish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

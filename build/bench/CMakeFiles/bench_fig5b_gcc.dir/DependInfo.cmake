@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5b_gcc.cc" "bench/CMakeFiles/bench_fig5b_gcc.dir/bench_fig5b_gcc.cc.o" "gcc" "bench/CMakeFiles/bench_fig5b_gcc.dir/bench_fig5b_gcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/occ_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/libos/CMakeFiles/occ_libos.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/occ_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/toolchain/CMakeFiles/occ_toolchain.dir/DependInfo.cmake"
+  "/root/repo/build/src/verifier/CMakeFiles/occ_verifier.dir/DependInfo.cmake"
+  "/root/repo/build/src/oskit/CMakeFiles/occ_oskit.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/occ_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/oelf/CMakeFiles/occ_oelf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/occ_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/occ_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/occ_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/occ_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/occ_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_gcc.dir/bench_fig5b_gcc.cc.o"
+  "CMakeFiles/bench_fig5b_gcc.dir/bench_fig5b_gcc.cc.o.d"
+  "bench_fig5b_gcc"
+  "bench_fig5b_gcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_gcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

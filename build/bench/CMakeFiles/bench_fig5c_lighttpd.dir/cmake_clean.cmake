@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_lighttpd.dir/bench_fig5c_lighttpd.cc.o"
+  "CMakeFiles/bench_fig5c_lighttpd.dir/bench_fig5c_lighttpd.cc.o.d"
+  "bench_fig5c_lighttpd"
+  "bench_fig5c_lighttpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_lighttpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_spawn.dir/bench_fig6a_spawn.cc.o"
+  "CMakeFiles/bench_fig6a_spawn.dir/bench_fig6a_spawn.cc.o.d"
+  "bench_fig6a_spawn"
+  "bench_fig6a_spawn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_spawn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

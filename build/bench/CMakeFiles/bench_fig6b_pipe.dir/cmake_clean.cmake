@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6b_pipe.dir/bench_fig6b_pipe.cc.o"
+  "CMakeFiles/bench_fig6b_pipe.dir/bench_fig6b_pipe.cc.o.d"
+  "bench_fig6b_pipe"
+  "bench_fig6b_pipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_pipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6cd_file_io.dir/bench_fig6cd_file_io.cc.o"
+  "CMakeFiles/bench_fig6cd_file_io.dir/bench_fig6cd_file_io.cc.o.d"
+  "bench_fig6cd_file_io"
+  "bench_fig6cd_file_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6cd_file_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_specint.dir/bench_fig7a_specint.cc.o"
+  "CMakeFiles/bench_fig7a_specint.dir/bench_fig7a_specint.cc.o.d"
+  "bench_fig7a_specint"
+  "bench_fig7a_specint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_specint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

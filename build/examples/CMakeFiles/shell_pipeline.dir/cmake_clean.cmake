@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shell_pipeline.dir/shell_pipeline.cpp.o"
+  "CMakeFiles/shell_pipeline.dir/shell_pipeline.cpp.o.d"
+  "shell_pipeline"
+  "shell_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shell_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

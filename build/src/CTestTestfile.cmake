@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("crypto")
+subdirs("isa")
+subdirs("vm")
+subdirs("sgx")
+subdirs("oelf")
+subdirs("toolchain")
+subdirs("verifier")
+subdirs("host")
+subdirs("oskit")
+subdirs("libos")
+subdirs("baseline")
+subdirs("workloads")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occ_base.dir/bytes.cc.o"
+  "CMakeFiles/occ_base.dir/bytes.cc.o.d"
+  "CMakeFiles/occ_base.dir/log.cc.o"
+  "CMakeFiles/occ_base.dir/log.cc.o.d"
+  "CMakeFiles/occ_base.dir/result.cc.o"
+  "CMakeFiles/occ_base.dir/result.cc.o.d"
+  "CMakeFiles/occ_base.dir/stats.cc.o"
+  "CMakeFiles/occ_base.dir/stats.cc.o.d"
+  "libocc_base.a"
+  "libocc_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occ_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

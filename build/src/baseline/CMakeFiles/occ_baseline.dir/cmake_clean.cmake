@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occ_baseline.dir/eip_system.cc.o"
+  "CMakeFiles/occ_baseline.dir/eip_system.cc.o.d"
+  "CMakeFiles/occ_baseline.dir/linux_system.cc.o"
+  "CMakeFiles/occ_baseline.dir/linux_system.cc.o.d"
+  "libocc_baseline.a"
+  "libocc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occ_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occ_crypto.dir/aes.cc.o"
+  "CMakeFiles/occ_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/occ_crypto.dir/hmac.cc.o"
+  "CMakeFiles/occ_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/occ_crypto.dir/sha256.cc.o"
+  "CMakeFiles/occ_crypto.dir/sha256.cc.o.d"
+  "libocc_crypto.a"
+  "libocc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occ_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

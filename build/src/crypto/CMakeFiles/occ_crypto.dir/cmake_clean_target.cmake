@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libocc_crypto.a"
+)

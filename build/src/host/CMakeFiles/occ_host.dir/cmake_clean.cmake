@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occ_host.dir/netsim.cc.o"
+  "CMakeFiles/occ_host.dir/netsim.cc.o.d"
+  "libocc_host.a"
+  "libocc_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occ_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

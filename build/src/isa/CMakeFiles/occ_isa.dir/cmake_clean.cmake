@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occ_isa.dir/assembler.cc.o"
+  "CMakeFiles/occ_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/occ_isa.dir/isa.cc.o"
+  "CMakeFiles/occ_isa.dir/isa.cc.o.d"
+  "libocc_isa.a"
+  "libocc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occ_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occ_libos.dir/encfs.cc.o"
+  "CMakeFiles/occ_libos.dir/encfs.cc.o.d"
+  "CMakeFiles/occ_libos.dir/occlum_system.cc.o"
+  "CMakeFiles/occ_libos.dir/occlum_system.cc.o.d"
+  "libocc_libos.a"
+  "libocc_libos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occ_libos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

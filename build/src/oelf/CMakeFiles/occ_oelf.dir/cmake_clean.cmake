@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occ_oelf.dir/oelf.cc.o"
+  "CMakeFiles/occ_oelf.dir/oelf.cc.o.d"
+  "libocc_oelf.a"
+  "libocc_oelf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occ_oelf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

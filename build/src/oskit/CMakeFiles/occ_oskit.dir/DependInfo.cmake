@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oskit/file_object.cc" "src/oskit/CMakeFiles/occ_oskit.dir/file_object.cc.o" "gcc" "src/oskit/CMakeFiles/occ_oskit.dir/file_object.cc.o.d"
+  "/root/repo/src/oskit/kernel.cc" "src/oskit/CMakeFiles/occ_oskit.dir/kernel.cc.o" "gcc" "src/oskit/CMakeFiles/occ_oskit.dir/kernel.cc.o.d"
+  "/root/repo/src/oskit/loader.cc" "src/oskit/CMakeFiles/occ_oskit.dir/loader.cc.o" "gcc" "src/oskit/CMakeFiles/occ_oskit.dir/loader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/occ_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/occ_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/oelf/CMakeFiles/occ_oelf.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/occ_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/occ_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/occ_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

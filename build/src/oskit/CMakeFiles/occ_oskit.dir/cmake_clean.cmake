@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occ_oskit.dir/file_object.cc.o"
+  "CMakeFiles/occ_oskit.dir/file_object.cc.o.d"
+  "CMakeFiles/occ_oskit.dir/kernel.cc.o"
+  "CMakeFiles/occ_oskit.dir/kernel.cc.o.d"
+  "CMakeFiles/occ_oskit.dir/loader.cc.o"
+  "CMakeFiles/occ_oskit.dir/loader.cc.o.d"
+  "libocc_oskit.a"
+  "libocc_oskit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occ_oskit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occ_sgx.dir/sgx.cc.o"
+  "CMakeFiles/occ_sgx.dir/sgx.cc.o.d"
+  "libocc_sgx.a"
+  "libocc_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occ_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

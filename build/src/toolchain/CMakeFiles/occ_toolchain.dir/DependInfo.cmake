@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/toolchain/codegen.cc" "src/toolchain/CMakeFiles/occ_toolchain.dir/codegen.cc.o" "gcc" "src/toolchain/CMakeFiles/occ_toolchain.dir/codegen.cc.o.d"
+  "/root/repo/src/toolchain/lexer.cc" "src/toolchain/CMakeFiles/occ_toolchain.dir/lexer.cc.o" "gcc" "src/toolchain/CMakeFiles/occ_toolchain.dir/lexer.cc.o.d"
+  "/root/repo/src/toolchain/parser.cc" "src/toolchain/CMakeFiles/occ_toolchain.dir/parser.cc.o" "gcc" "src/toolchain/CMakeFiles/occ_toolchain.dir/parser.cc.o.d"
+  "/root/repo/src/toolchain/stdlib.cc" "src/toolchain/CMakeFiles/occ_toolchain.dir/stdlib.cc.o" "gcc" "src/toolchain/CMakeFiles/occ_toolchain.dir/stdlib.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/occ_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/occ_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/oelf/CMakeFiles/occ_oelf.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/occ_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/occ_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

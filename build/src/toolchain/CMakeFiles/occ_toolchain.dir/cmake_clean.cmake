@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occ_toolchain.dir/codegen.cc.o"
+  "CMakeFiles/occ_toolchain.dir/codegen.cc.o.d"
+  "CMakeFiles/occ_toolchain.dir/lexer.cc.o"
+  "CMakeFiles/occ_toolchain.dir/lexer.cc.o.d"
+  "CMakeFiles/occ_toolchain.dir/parser.cc.o"
+  "CMakeFiles/occ_toolchain.dir/parser.cc.o.d"
+  "CMakeFiles/occ_toolchain.dir/stdlib.cc.o"
+  "CMakeFiles/occ_toolchain.dir/stdlib.cc.o.d"
+  "libocc_toolchain.a"
+  "libocc_toolchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occ_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occ_verifier.dir/verifier.cc.o"
+  "CMakeFiles/occ_verifier.dir/verifier.cc.o.d"
+  "libocc_verifier.a"
+  "libocc_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occ_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

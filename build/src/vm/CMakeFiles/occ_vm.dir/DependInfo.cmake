@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/address_space.cc" "src/vm/CMakeFiles/occ_vm.dir/address_space.cc.o" "gcc" "src/vm/CMakeFiles/occ_vm.dir/address_space.cc.o.d"
+  "/root/repo/src/vm/cpu.cc" "src/vm/CMakeFiles/occ_vm.dir/cpu.cc.o" "gcc" "src/vm/CMakeFiles/occ_vm.dir/cpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/occ_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/occ_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occ_vm.dir/address_space.cc.o"
+  "CMakeFiles/occ_vm.dir/address_space.cc.o.d"
+  "CMakeFiles/occ_vm.dir/cpu.cc.o"
+  "CMakeFiles/occ_vm.dir/cpu.cc.o.d"
+  "libocc_vm.a"
+  "libocc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occ_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

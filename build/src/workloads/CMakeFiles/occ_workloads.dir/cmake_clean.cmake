@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occ_workloads.dir/workloads.cc.o"
+  "CMakeFiles/occ_workloads.dir/workloads.cc.o.d"
+  "libocc_workloads.a"
+  "libocc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occ_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

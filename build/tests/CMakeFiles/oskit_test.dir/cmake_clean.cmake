@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oskit_test.dir/oskit_test.cc.o"
+  "CMakeFiles/oskit_test.dir/oskit_test.cc.o.d"
+  "oskit_test"
+  "oskit_test.pdb"
+  "oskit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oskit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

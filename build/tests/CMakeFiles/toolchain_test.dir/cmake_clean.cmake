@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toolchain_test.dir/toolchain_test.cc.o"
+  "CMakeFiles/toolchain_test.dir/toolchain_test.cc.o.d"
+  "toolchain_test"
+  "toolchain_test.pdb"
+  "toolchain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toolchain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
