@@ -80,5 +80,10 @@ main()
     table.print();
     std::printf("\nPaper: Linux 1.4ms, Occlum 19.5ms (13.9x), "
                 "Graphene 9.5s (~490x Occlum)\n");
+    bench::JsonReport report("fig5a_fish");
+    report.add("linux", "iteration_us", linux_s * 1e6);
+    report.add("occlum", "iteration_us", occ_s * 1e6);
+    report.add("eip", "iteration_us", eip_s * 1e6);
+    report.write();
     return 0;
 }

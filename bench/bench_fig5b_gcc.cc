@@ -65,6 +65,7 @@ main()
     Table table("Fig 5b: GCC-like compile pipeline");
     table.set_header({"translation unit", "Linux", "Graphene-like (EIP)",
                       "Occlum", "Occlum vs Linux", "Occlum vs EIP"});
+    bench::JsonReport report("fig5b_gcc");
 
     for (const Unit &unit : units) {
         std::string text = make_source_text(unit.bytes);
@@ -107,9 +108,13 @@ main()
                        format_time_us(occ_s * 1e6),
                        format("%.1fx slower", occ_s / linux_s),
                        format("%.1fx faster", eip_s / occ_s)});
+        report.add(unit.label, "linux_us", linux_s * 1e6);
+        report.add(unit.label, "eip_us", eip_s * 1e6);
+        report.add(unit.label, "occlum_us", occ_s * 1e6);
     }
     table.print();
     std::printf("\nPaper shape: Occlum 3.6-9.2x slower than Linux, "
                 "3.8-42x faster than Graphene.\n");
+    report.write();
     return 0;
 }

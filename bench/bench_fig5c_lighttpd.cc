@@ -122,6 +122,7 @@ main()
     Table table("Fig 5c: lighttpd-like throughput (req/s), 10KB pages");
     table.set_header({"clients", "Linux", "Graphene-like (EIP)",
                       "Occlum", "Occlum vs Linux"});
+    bench::JsonReport report("fig5c_lighttpd");
 
     for (int concurrency : {1, 2, 4, 8, 16, 32, 64, 128}) {
         int total = std::max(200, concurrency * 12);
@@ -159,9 +160,14 @@ main()
                        format("%.0f", occ_rps),
                        format("%+.0f%%",
                               100 * (occ_rps / linux_rps - 1.0))});
+        std::string label = std::to_string(concurrency);
+        report.add(label, "linux_rps", linux_rps);
+        report.add(label, "eip_rps", eip_rps);
+        report.add(label, "occlum_rps", occ_rps);
     }
     table.print();
     std::printf("\nPaper shape: saturating curve; at peak Occlum -9%%, "
                 "Graphene -10%% vs Linux (~11k req/s).\n");
+    report.write();
     return 0;
 }

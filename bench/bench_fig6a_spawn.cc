@@ -24,12 +24,12 @@ struct Case {
     uint64_t code_reserve; // link-time slot geometry
 };
 
-double
+Aggregate
 measure_spawn(oskit::Kernel &sys, const std::string &prog)
 {
-    // Average over several spawns (first may warm allocator state).
+    // Aggregate several spawns (first may warm allocator state).
     constexpr int kReps = 5;
-    double total_us = 0.0;
+    Aggregate agg;
     for (int i = 0; i < kReps; ++i) {
         uint64_t before = sys.clock().cycles();
         auto pid = sys.spawn(prog, {prog});
@@ -37,9 +37,9 @@ measure_spawn(oskit::Kernel &sys, const std::string &prog)
         uint64_t after = sys.clock().cycles();
         sys.run();
         OCC_CHECK(sys.exit_code(pid.value()).ok());
-        total_us += SimClock::cycles_to_micros(after - before);
+        agg.add(SimClock::cycles_to_micros(after - before));
     }
-    return total_us / kReps;
+    return agg;
 }
 
 } // namespace
@@ -55,7 +55,8 @@ main()
 
     Table table("Fig 6a: process creation latency (posix_spawn)");
     table.set_header({"binary", "Linux", "Graphene-like (EIP)", "Occlum",
-                      "Occlum vs EIP"});
+                      "Occlum p50/p95/p99", "Occlum vs EIP"});
+    bench::JsonReport report("fig6a_spawn");
 
     for (const Case &c : cases) {
         workloads::ProgramBuild build = workloads::build_program(
@@ -67,14 +68,14 @@ main()
         host::HostFileStore linux_files;
         linux_files.put("prog", build.plain);
         baseline::LinuxSystem linux_sys(linux_clock, linux_files);
-        double linux_us = measure_spawn(linux_sys, "prog");
+        double linux_us = measure_spawn(linux_sys, "prog").mean();
 
         // Graphene-like EIP.
         sgx::Platform eip_platform;
         host::HostFileStore eip_files;
         eip_files.put("prog", build.plain);
         baseline::EipSystem eip_sys(eip_platform, eip_files, {});
-        double eip_us = measure_spawn(eip_sys, "prog");
+        double eip_us = measure_spawn(eip_sys, "prog").mean();
 
         // Occlum.
         sgx::Platform occ_platform;
@@ -82,14 +83,26 @@ main()
         occ_files.put("prog", build.occlum);
         auto config = bench::occlum_config(4, c.code_reserve, 8 << 20);
         libos::OcclumSystem occ_sys(occ_platform, occ_files, config);
-        double occ_us = measure_spawn(occ_sys, "prog");
+        Aggregate occ = measure_spawn(occ_sys, "prog");
+        double occ_us = occ.mean();
 
         table.add_row({c.label, format_time_us(linux_us),
                        format_time_us(eip_us), format_time_us(occ_us),
+                       format("%s / %s / %s",
+                              format_time_us(occ.p50()).c_str(),
+                              format_time_us(occ.p95()).c_str(),
+                              format_time_us(occ.p99()).c_str()),
                        format("%.0fx faster", eip_us / occ_us)});
+        report.add(c.label, "linux_us", linux_us);
+        report.add(c.label, "eip_us", eip_us);
+        report.add(c.label, "occlum_us", occ_us);
+        report.add(c.label, "occlum_p50_us", occ.p50());
+        report.add(c.label, "occlum_p95_us", occ.p95());
+        report.add(c.label, "occlum_p99_us", occ.p99());
     }
     table.print();
     std::printf("\nPaper: hello 170us/0.64s/97us; busybox "
                 "170us/0.69s/1.7ms; cc1 170us/0.89s/63ms\n");
+    report.write();
     return 0;
 }

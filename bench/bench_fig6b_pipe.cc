@@ -81,6 +81,7 @@ main()
     Table table("Fig 6b: pipe throughput vs buffer size");
     table.set_header({"buffer", "Linux", "Graphene-like (EIP)", "Occlum",
                       "Occlum/EIP"});
+    bench::JsonReport report("fig6b_pipe");
 
     for (uint64_t chunk : {16u, 64u, 256u, 1024u, 4096u}) {
         uint64_t total = std::max<uint64_t>(1 << 20, chunk * 4096);
@@ -114,8 +115,13 @@ main()
                        format_mbps(linux_mbps), format_mbps(eip_mbps),
                        format_mbps(occ_mbps),
                        format("%.1fx", occ_mbps / eip_mbps)});
+        std::string label = format("%lluB", (unsigned long long)chunk);
+        report.add(label, "linux_mbps", linux_mbps);
+        report.add(label, "eip_mbps", eip_mbps);
+        report.add(label, "occlum_mbps", occ_mbps);
     }
     table.print();
     std::printf("\nPaper shape: Occlum ~ Linux, both >3x Graphene.\n");
+    report.write();
     return 0;
 }

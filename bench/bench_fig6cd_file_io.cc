@@ -49,6 +49,7 @@ main()
                        "overhead"});
 
     Aggregate read_overhead, write_overhead;
+    bench::JsonReport report("fig6cd_file_io");
 
     for (uint64_t chunk : {4u, 16u, 64u, 256u, 1024u, 4096u, 16384u}) {
         // Keep small-buffer runs tractable; throughput is
@@ -86,6 +87,11 @@ main()
         writes.add_row({format("%lluB", (unsigned long long)chunk),
                         format_mbps(linux_w), format_mbps(occ_w),
                         format("%.0f%%", 100 * w_ovh)});
+        std::string label = format("%lluB", (unsigned long long)chunk);
+        report.add(label, "linux_read_mbps", linux_r);
+        report.add(label, "occlum_read_mbps", occ_r);
+        report.add(label, "linux_write_mbps", linux_w);
+        report.add(label, "occlum_write_mbps", occ_w);
     }
     reads.print();
     std::printf("mean read overhead: %.0f%% (paper: 39%%)\n",
@@ -93,5 +99,9 @@ main()
     writes.print();
     std::printf("mean write overhead: %.0f%% (paper: 18%%)\n",
                 100 * write_overhead.mean());
+    report.add("mean", "read_overhead_pct", 100 * read_overhead.mean());
+    report.add("mean", "write_overhead_pct",
+               100 * write_overhead.mean());
+    report.write();
     return 0;
 }

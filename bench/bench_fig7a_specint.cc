@@ -43,6 +43,7 @@ main()
                       "MMDSFI (Mcycles)", "overhead"});
 
     Aggregate overheads;
+    bench::JsonReport report("fig7a_specint");
     std::map<std::string, int64_t> checks;
     for (const std::string &name : workloads::spec_kernel_names()) {
         workloads::ProgramBuild build = workloads::build_program(
@@ -54,10 +55,15 @@ main()
         table.add_row({name, format("%.1f", plain / 1e6),
                        format("%.1f", sfi / 1e6),
                        format("%.1f%%", overhead * 100)});
+        report.add(name, "plain_mcycles", plain / 1e6);
+        report.add(name, "mmdsfi_mcycles", sfi / 1e6);
+        report.add(name, "overhead_pct", overhead * 100);
     }
     table.add_row({"MEAN", "", "",
                    format("%.1f%%", overheads.mean() * 100)});
     table.print();
     std::printf("\nPaper: 36.6%% mean overhead across SPECint2006.\n");
+    report.add("MEAN", "overhead_pct", overheads.mean() * 100);
+    report.write();
     return 0;
 }

@@ -326,5 +326,11 @@ main()
     std::printf("Paper: Graphene falls to code injection + ROP; Occlum "
                 "blocks all of them; return-to-libc runs but stays "
                 "confined to the SIP.\n");
+    bench::JsonReport report("ripe_security");
+    report.add("eip", "hijacks", eip_hijacks);
+    report.add("occlum", "hijacks", occlum_hijacks);
+    report.add("total", "attacks",
+               static_cast<double>(std::size(kAttacks)));
+    report.write();
     return occlum_hijacks == 0 ? 0 : 1;
 }

@@ -9,6 +9,8 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include "baseline/linux_system.h"
 #include "crypto/aes.h"
 #include "crypto/sha256.h"
@@ -109,6 +111,48 @@ BM_VerifyBinary(benchmark::State &state)
 }
 BENCHMARK(BM_VerifyBinary);
 
+/**
+ * Console output as usual, plus every iteration-level run collected
+ * into the shared BENCH_<name>.json schema.
+ */
+class CollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit CollectingReporter(bench::JsonReport &report)
+        : report_(&report)
+    {}
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.run_type != Run::RT_Iteration ||
+                run.error_occurred) {
+                continue;
+            }
+            report_->add(run.benchmark_name(), "real_time_ns",
+                         run.GetAdjustedRealTime());
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    bench::JsonReport *report_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        return 1;
+    }
+    bench::JsonReport report("substrate");
+    CollectingReporter reporter(report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    report.write();
+    return 0;
+}

@@ -79,6 +79,60 @@ timed_run(oskit::Kernel &sys, const std::string &prog,
     return SimClock::cycles_to_seconds(sys.clock().cycles() - before);
 }
 
+/**
+ * Machine-readable benchmark output: every bench binary writes a
+ * BENCH_<name>.json next to its working directory with schema
+ *   { "bench": "<name>", "rows": [ {"label", "metric", "value"}... ] }
+ * so plots and CI trend lines don't scrape console tables.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+    void
+    add(const std::string &label, const std::string &metric,
+        double value)
+    {
+        rows_.push_back({label, metric, value});
+    }
+
+    /** Write BENCH_<name>.json; prints the path on success. */
+    void
+    write() const
+    {
+        std::string path = "BENCH_" + bench_ + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "warning: cannot write %s\n",
+                         path.c_str());
+            return;
+        }
+        std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n",
+                     bench_.c_str());
+        for (size_t i = 0; i < rows_.size(); ++i) {
+            const Row &row = rows_[i];
+            std::fprintf(f,
+                         "    {\"label\": \"%s\", \"metric\": \"%s\", "
+                         "\"value\": %.6g}%s\n",
+                         row.label.c_str(), row.metric.c_str(),
+                         row.value, i + 1 < rows_.size() ? "," : "");
+        }
+        std::fprintf(f, "  ]\n}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+    }
+
+  private:
+    struct Row {
+        std::string label;
+        std::string metric;
+        double value;
+    };
+    std::string bench_;
+    std::vector<Row> rows_;
+};
+
 } // namespace occlum::bench
 
 #endif // OCCLUM_BENCH_BENCH_UTIL_H

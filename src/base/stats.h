@@ -15,7 +15,11 @@
 
 namespace occlum {
 
-/** Running aggregate: count / mean / min / max. */
+/**
+ * Running aggregate: count / mean / min / max plus exact percentiles.
+ * Samples are retained (benchmark populations are small), so
+ * percentile() is nearest-rank over the sorted sample set.
+ */
 class Aggregate
 {
   public:
@@ -30,6 +34,8 @@ class Aggregate
         }
         sum_ += sample;
         ++count_;
+        samples_.push_back(sample);
+        sorted_ = false;
     }
 
     uint64_t count() const { return count_; }
@@ -38,11 +44,36 @@ class Aggregate
     double min() const { return min_; }
     double max() const { return max_; }
 
+    /** Nearest-rank percentile, p in [0, 100]. 0 when empty. */
+    double
+    percentile(double p) const
+    {
+        if (samples_.empty()) {
+            return 0.0;
+        }
+        if (!sorted_) {
+            std::sort(samples_.begin(), samples_.end());
+            sorted_ = true;
+        }
+        double rank = p / 100.0 * static_cast<double>(samples_.size());
+        size_t index = rank <= 1.0
+                           ? 0
+                           : static_cast<size_t>(rank + 0.5) - 1;
+        index = std::min(index, samples_.size() - 1);
+        return samples_[index];
+    }
+
+    double p50() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
   private:
     uint64_t count_ = 0;
     double sum_ = 0.0;
     double min_ = 0.0;
     double max_ = 0.0;
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
 };
 
 /** Fixed-width console table, one per reproduced figure. */

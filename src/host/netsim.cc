@@ -1,8 +1,20 @@
 #include "host/host.h"
 
 #include "base/log.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace occlum::host {
+
+namespace {
+
+trace::Counter &
+net_counter(const char *name)
+{
+    return trace::Registry::instance().counter(name);
+}
+
+} // namespace
 
 bool
 NetSim::listen(uint16_t port, int backlog)
@@ -29,6 +41,9 @@ NetSim::connect(uint16_t port)
     }
     auto conn = std::make_unique<Connection>();
     conn->id = next_conn_id_++;
+    OCC_TRACE_INSTANT(kNet, "net.connect", conn->id);
+    static trace::Counter *ctr = &net_counter("net.connects");
+    ctr->add();
     Connection *raw = conn.get();
     uint64_t arrival = clock_->cycles() + CostModel::kNetRttCycles / 2;
     it->second.pending.emplace_back(std::move(conn), arrival);
@@ -49,6 +64,9 @@ NetSim::try_accept(uint16_t port, uint64_t now_cycles)
         std::move(it->second.pending.front().first);
     it->second.pending.pop_front();
     Connection *raw = conn.get();
+    OCC_TRACE_INSTANT(kNet, "net.accept", raw->id);
+    static trace::Counter *ctr = &net_counter("net.accepts");
+    ctr->add();
     established_.push_back(std::move(conn));
     return raw;
 }
@@ -69,6 +87,8 @@ NetSim::send(Connection *conn, bool from_server, const uint8_t *data,
 {
     // Shared 1 Gbps link: the transfer occupies the link starting at
     // max(now, busy_until); it lands half an RTT after it finishes.
+    static trace::Counter *ctr = &net_counter("net.bytes_sent");
+    ctr->add(len);
     uint64_t start = std::max(clock_->cycles(), link_busy_until_);
     uint64_t transfer =
         static_cast<uint64_t>(len * CostModel::kNetCyclesPerByte);
@@ -110,6 +130,10 @@ NetSim::recv(Connection *conn, bool at_server, uint8_t *out, size_t cap,
         if (chunk.consumed == chunk.data.size()) {
             queue.pop_front();
         }
+    }
+    if (total > 0) {
+        static trace::Counter *ctr = &net_counter("net.bytes_received");
+        ctr->add(total);
     }
     return total;
 }

@@ -4,6 +4,7 @@
 
 #include "base/cost_model.h"
 #include "base/log.h"
+#include "trace/trace.h"
 
 namespace occlum::libos {
 
@@ -40,11 +41,18 @@ EncFs::EncFs(host::BlockDevice &device, SimClock &clock, Config config)
     }
     data_start_ = bitmap_start_ + bitmap_blocks_;
     OCC_CHECK_MSG(data_start_ < total, "device too small for EncFs");
+
+    auto &registry = trace::Registry::instance();
+    ctr_cache_hits_ = &registry.counter("encfs.cache_hits");
+    ctr_cache_misses_ = &registry.counter("encfs.cache_misses");
+    ctr_dev_reads_ = &registry.counter("encfs.dev_reads");
+    ctr_dev_writes_ = &registry.counter("encfs.dev_writes");
 }
 
 void
 EncFs::charge_crypto(uint64_t bytes)
 {
+    OCC_TRACE_SPAN(kFs, "encfs.crypto", bytes);
     clock_->advance(static_cast<uint64_t>(
         bytes * (CostModel::kAesCyclesPerByte +
                  CostModel::kHmacCyclesPerByte)));
@@ -90,8 +98,12 @@ EncFs::load_mac_table()
     uint32_t records_per_block = kBlockSize / kMacRecordSize;
     for (uint32_t mb = 0; mb < mac_blocks_; ++mb) {
         Bytes raw;
-        OCC_RETURN_IF_ERROR(device_->read_block(mb, raw));
-        charge_ocall();
+        {
+            OCC_TRACE_SPAN(kOcall, "encfs.dev_read", mb);
+            ctr_dev_reads_->add();
+            OCC_RETURN_IF_ERROR(device_->read_block(mb, raw));
+            charge_ocall();
+        }
         for (uint32_t r = 0; r < records_per_block; ++r) {
             uint64_t index =
                 static_cast<uint64_t>(mb) * records_per_block + r +
@@ -130,8 +142,12 @@ EncFs::flush_mac_table()
             std::memcpy(rec, mac_table_[index].mac.data(), 32);
             set_le<uint64_t>(rec + 32, mac_table_[index].counter);
         }
-        OCC_RETURN_IF_ERROR(device_->write_block(mb, raw));
-        charge_ocall();
+        {
+            OCC_TRACE_SPAN(kOcall, "encfs.dev_write", mb);
+            ctr_dev_writes_->add();
+            OCC_RETURN_IF_ERROR(device_->write_block(mb, raw));
+            charge_ocall();
+        }
         mac_block_dirty_[mb] = false;
     }
     return Status();
@@ -150,6 +166,7 @@ EncFs::get_block(uint32_t block, bool for_write)
     auto it = cache_.find(block);
     if (it != cache_.end()) {
         ++cache_hits_;
+        ctr_cache_hits_->add();
         it->second.stamp = ++lru_stamp_;
         if (for_write) {
             it->second.dirty = true;
@@ -157,6 +174,7 @@ EncFs::get_block(uint32_t block, bool for_write)
         return &it->second.data;
     }
     ++cache_misses_;
+    ctr_cache_misses_->add();
     OCC_RETURN_IF_ERROR(evict_if_needed());
 
     const MacRecord &record = mac_table_[block];
@@ -168,8 +186,12 @@ EncFs::get_block(uint32_t block, bool for_write)
         entry.data.assign(kBlockSize, 0);
     } else {
         Bytes ciphertext;
-        OCC_RETURN_IF_ERROR(device_->read_block(block, ciphertext));
-        charge_ocall();
+        {
+            OCC_TRACE_SPAN(kOcall, "encfs.dev_read", block);
+            ctr_dev_reads_->add();
+            OCC_RETURN_IF_ERROR(device_->read_block(block, ciphertext));
+            charge_ocall();
+        }
         crypto::Sha256Digest expect =
             block_mac(block, record.counter, ciphertext);
         charge_crypto(kBlockSize);
@@ -196,8 +218,12 @@ EncFs::flush_entry(uint32_t block, CacheEntry &entry)
     Bytes ciphertext = crypt_block(block, record.counter, entry.data);
     record.mac = block_mac(block, record.counter, ciphertext);
     charge_crypto(kBlockSize);
-    OCC_RETURN_IF_ERROR(device_->write_block(block, ciphertext));
-    charge_ocall();
+    {
+        OCC_TRACE_SPAN(kOcall, "encfs.dev_write", block);
+        ctr_dev_writes_->add();
+        OCC_RETURN_IF_ERROR(device_->write_block(block, ciphertext));
+        charge_ocall();
+    }
     uint32_t records_per_block = kBlockSize / kMacRecordSize;
     mac_block_dirty_[(block - mac_blocks_) / records_per_block] = true;
     entry.dirty = false;
@@ -689,6 +715,7 @@ Result<int64_t>
 EncFs::read(uint32_t inode_index, uint64_t offset, uint8_t *out,
             uint64_t len)
 {
+    OCC_TRACE_SPAN(kFs, "encfs.read", len);
     clock_->advance(CostModel::kEncFsOpCycles);
     auto inode = load_inode(inode_index);
     if (!inode.ok()) return inode.error();
@@ -724,6 +751,7 @@ Result<int64_t>
 EncFs::write(uint32_t inode_index, uint64_t offset, const uint8_t *in,
              uint64_t len)
 {
+    OCC_TRACE_SPAN(kFs, "encfs.write", len);
     clock_->advance(CostModel::kEncFsOpCycles);
     auto inode = load_inode(inode_index);
     if (!inode.ok()) return inode.error();

@@ -34,6 +34,7 @@
 #include "crypto/aes.h"
 #include "crypto/hmac.h"
 #include "host/host.h"
+#include "trace/metrics.h"
 
 namespace occlum::libos {
 
@@ -178,6 +179,12 @@ class EncFs
     uint64_t lru_stamp_ = 0;
     uint64_t cache_hits_ = 0;
     uint64_t cache_misses_ = 0;
+
+    // Registry metrics (registered at construction; see metrics.h).
+    trace::Counter *ctr_cache_hits_ = nullptr;
+    trace::Counter *ctr_cache_misses_ = nullptr;
+    trace::Counter *ctr_dev_reads_ = nullptr;
+    trace::Counter *ctr_dev_writes_ = nullptr;
 };
 
 } // namespace occlum::libos

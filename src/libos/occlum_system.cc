@@ -3,6 +3,7 @@
 #include "base/log.h"
 #include "isa/isa.h"
 #include "oskit/loader.h"
+#include "trace/trace.h"
 
 namespace occlum::libos {
 
@@ -190,6 +191,7 @@ Result<std::unique_ptr<oskit::Process>>
 OcclumSystem::create_process(const std::string &path,
                              const std::vector<std::string> &argv)
 {
+    OCC_TRACE_SPAN(kLibos, "libos.spawn");
     auto raw = binaries().get(path);
     if (!raw.ok()) {
         return raw.error();

@@ -75,6 +75,42 @@ enum class Sys : uint64_t {
     kCount
 };
 
+/** Static name of a syscall number ("sys.write", ...), for tracing. */
+constexpr const char *
+sys_name(uint64_t num)
+{
+    switch (static_cast<Sys>(num)) {
+      case Sys::kExit: return "sys.exit";
+      case Sys::kWrite: return "sys.write";
+      case Sys::kRead: return "sys.read";
+      case Sys::kOpen: return "sys.open";
+      case Sys::kClose: return "sys.close";
+      case Sys::kSpawn: return "sys.spawn";
+      case Sys::kWaitPid: return "sys.waitpid";
+      case Sys::kGetPid: return "sys.getpid";
+      case Sys::kPipe: return "sys.pipe";
+      case Sys::kDup2: return "sys.dup2";
+      case Sys::kLseek: return "sys.lseek";
+      case Sys::kUnlink: return "sys.unlink";
+      case Sys::kMmap: return "sys.mmap";
+      case Sys::kMunmap: return "sys.munmap";
+      case Sys::kTime: return "sys.time";
+      case Sys::kKill: return "sys.kill";
+      case Sys::kSockListen: return "sys.sock_listen";
+      case Sys::kSockAccept: return "sys.sock_accept";
+      case Sys::kSockSend: return "sys.sock_send";
+      case Sys::kSockRecv: return "sys.sock_recv";
+      case Sys::kYield: return "sys.yield";
+      case Sys::kFstatSize: return "sys.fstat_size";
+      case Sys::kMkdir: return "sys.mkdir";
+      case Sys::kFsync: return "sys.fsync";
+      case Sys::kSockConnect: return "sys.sock_connect";
+      case Sys::kGetArg: return "sys.getarg";
+      case Sys::kCount: break;
+    }
+    return "sys.unknown";
+}
+
 /** open() flag bits (subset of POSIX). */
 constexpr uint64_t kOpenRead = 0x0;
 constexpr uint64_t kOpenWrite = 0x1;

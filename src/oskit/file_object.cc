@@ -1,6 +1,7 @@
 #include "oskit/file_object.h"
 
 #include "oskit/kernel.h"
+#include "trace/trace.h"
 
 namespace occlum::oskit {
 
@@ -88,9 +89,12 @@ SocketFile::read(Kernel &kernel, uint8_t *buf, uint64_t len)
         }
         return IoResult::block(next_arrival);
     }
-    kernel.charge(kernel.net_op_cost() +
-                  static_cast<uint64_t>(
-                      n * CostModel::kMemcpyCyclesPerByte));
+    {
+        OCC_TRACE_SPAN(kOcall, "net.recv", n);
+        kernel.charge(kernel.net_op_cost() +
+                      static_cast<uint64_t>(
+                          n * CostModel::kMemcpyCyclesPerByte));
+    }
     return IoResult::ok(static_cast<int64_t>(n));
 }
 
@@ -98,9 +102,12 @@ IoResult
 SocketFile::write(Kernel &kernel, const uint8_t *buf, uint64_t len)
 {
     net_->send(conn_, at_server_, buf, len);
-    kernel.charge(kernel.net_op_cost() +
-                  static_cast<uint64_t>(
-                      len * CostModel::kMemcpyCyclesPerByte));
+    {
+        OCC_TRACE_SPAN(kOcall, "net.send", len);
+        kernel.charge(kernel.net_op_cost() +
+                      static_cast<uint64_t>(
+                          len * CostModel::kMemcpyCyclesPerByte));
+    }
     return IoResult::ok(static_cast<int64_t>(len));
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/log.h"
+#include "trace/trace.h"
 
 namespace occlum::oskit {
 
@@ -133,6 +134,9 @@ Kernel::spawn(const std::string &path, const std::vector<std::string> &argv,
     }
     procs_.emplace(pid, std::move(proc));
     ++stats_.spawns;
+    ctr_spawns_->add();
+    OCC_TRACE_INSTANT(kSched, "proc.spawn",
+                      static_cast<uint64_t>(pid));
     any_progress_ = true;
     return pid;
 }
@@ -160,7 +164,10 @@ Kernel::kill_process(Process &proc, DeathCause cause, int64_t code)
     reaped_[proc.pid] = record;
     if (cause == DeathCause::kFault || cause == DeathCause::kPrivileged) {
         ++stats_.faults;
+        ctr_faults_->add();
     }
+    OCC_TRACE_INSTANT(kSched, "proc.death",
+                      static_cast<uint64_t>(proc.pid));
     destroy_process(proc);
     any_progress_ = true;
 }
@@ -225,6 +232,7 @@ Kernel::next_wake_time() const
 bool
 Kernel::step_round()
 {
+    OCC_TRACE_SPAN(kSched, "sched.round");
     any_progress_ = false;
     // Snapshot pids: syscalls may spawn (or kill) during the walk.
     std::vector<int> pids;
@@ -243,16 +251,24 @@ Kernel::step_round()
         }
         if (proc.state == ProcState::kBlocked) {
             // Retry the in-flight syscall.
+            OCC_TRACE_SPAN(kLibos, abi::sys_name(proc.sys_num),
+                           static_cast<uint64_t>(pid));
             if (handle_syscall(proc)) {
                 any_progress_ = true;
             }
             continue;
         }
-        // Runnable: execute a quantum.
+        // Runnable: execute a quantum. The span covers the charge so
+        // its duration equals the cycles the SIP's code consumed.
         uint64_t before_cycles = proc.cpu->cycles();
         uint64_t before_instrs = proc.cpu->instructions();
-        vm::CpuExit exit = proc.cpu->run(quantum_);
-        charge(proc.cpu->cycles() - before_cycles);
+        vm::CpuExit exit;
+        {
+            OCC_TRACE_SPAN(kVm, "cpu.quantum",
+                           static_cast<uint64_t>(pid));
+            exit = proc.cpu->run(quantum_);
+            charge(proc.cpu->cycles() - before_cycles);
+        }
         stats_.user_instructions +=
             proc.cpu->instructions() - before_instrs;
         if (proc.cpu->instructions() != before_instrs) {
@@ -289,8 +305,17 @@ Kernel::step_round()
             }
             proc.sys_ret_addr = ret;
             ++stats_.syscalls;
-            charge(syscall_cost());
-            handle_syscall(proc);
+            ctr_syscalls_->add();
+            uint64_t sys_begin = clock_->cycles();
+            {
+                OCC_TRACE_SPAN(kLibos, abi::sys_name(proc.sys_num),
+                               static_cast<uint64_t>(pid));
+                charge(syscall_cost());
+                handle_syscall(proc);
+            }
+            // Cycles of the initial dispatch round (blocked retries
+            // are traced but not re-recorded here).
+            hist_syscall_cycles_->record(clock_->cycles() - sys_begin);
             break;
           }
           case vm::ExitKind::kPrivileged:
@@ -317,6 +342,7 @@ Kernel::run(bool allow_idle)
         }
         uint64_t wake = next_wake_time();
         if (wake != ~0ull && wake > clock_->cycles()) {
+            OCC_TRACE_SPAN(kSched, "sched.idle");
             clock_->advance(wake - clock_->cycles());
             continue;
         }

@@ -29,6 +29,7 @@
 #include "base/sim_clock.h"
 #include "oelf/abi.h"
 #include "oskit/file_object.h"
+#include "trace/metrics.h"
 #include "vm/cpu.h"
 
 namespace occlum::oskit {
@@ -118,7 +119,17 @@ class Kernel
   public:
     Kernel(SimClock &clock, host::HostFileStore &binaries,
            host::NetSim *net = nullptr)
-        : clock_(&clock), binaries_(&binaries), net_(net)
+        : clock_(&clock), binaries_(&binaries), net_(net),
+          // Register the kernel's metrics once; the registry keeps
+          // the addresses stable for the lifetime of the process.
+          ctr_syscalls_(
+              &trace::Registry::instance().counter("kernel.syscalls")),
+          ctr_spawns_(
+              &trace::Registry::instance().counter("kernel.spawns")),
+          ctr_faults_(
+              &trace::Registry::instance().counter("kernel.faults")),
+          hist_syscall_cycles_(&trace::Registry::instance().histogram(
+              "kernel.syscall_cycles"))
     {}
     virtual ~Kernel() = default;
 
@@ -270,6 +281,11 @@ class Kernel
     uint64_t quantum_ = 20000;
     std::string console_;
     KernelStats stats_;
+    /** Registry-backed metrics (registered in the constructor). */
+    trace::Counter *ctr_syscalls_;
+    trace::Counter *ctr_spawns_;
+    trace::Counter *ctr_faults_;
+    trace::Histogram *hist_syscall_cycles_;
     /** Processes whose blocked syscall should be retried. */
     bool any_progress_ = false;
 };

@@ -2,9 +2,18 @@
 
 #include <cstring>
 
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
 namespace occlum::sgx {
 
 namespace {
+
+trace::Counter &
+transition_counter(const char *name)
+{
+    return trace::Registry::instance().counter(name);
+}
 
 /** Digest of a 4 KiB zero page, computed once (see header note). */
 const crypto::Sha256Digest &
@@ -42,6 +51,7 @@ Enclave::Enclave(Platform &platform, uint64_t base, uint64_t size)
     OCC_CHECK_MSG((base & vm::kPageMask) == 0 &&
                   (size & vm::kPageMask) == 0,
                   "enclave range must be page aligned");
+    OCC_TRACE_SPAN(kSgx, "sgx.ecreate", size);
     charge(CostModel::kEnclaveCreateFixedCycles);
     // Measure the ECREATE parameters.
     Bytes header;
@@ -53,6 +63,36 @@ Enclave::Enclave(Platform &platform, uint64_t base, uint64_t size)
 Enclave::~Enclave()
 {
     platform_->release_epc(reserved_bytes_);
+}
+
+// Transition edges: the span brackets the clock charge, so its
+// duration is exactly the transition's calibrated cycle cost and the
+// breakdown benches can attribute it to the sgx category.
+void
+Enclave::charge_eenter()
+{
+    static trace::Counter *ctr = &transition_counter("sgx.eenter");
+    OCC_TRACE_SPAN(kSgx, "sgx.eenter");
+    ctr->add();
+    charge(CostModel::kEenterCycles);
+}
+
+void
+Enclave::charge_eexit()
+{
+    static trace::Counter *ctr = &transition_counter("sgx.eexit");
+    OCC_TRACE_SPAN(kSgx, "sgx.eexit");
+    ctr->add();
+    charge(CostModel::kEexitCycles);
+}
+
+void
+Enclave::charge_aex()
+{
+    static trace::Counter *ctr = &transition_counter("sgx.aex");
+    OCC_TRACE_SPAN(kSgx, "sgx.aex");
+    ctr->add();
+    charge(CostModel::kAexCycles);
 }
 
 Status
@@ -82,6 +122,7 @@ Enclave::add_pages(uint64_t vaddr, uint64_t len, uint8_t perms,
     }
 
     // EEXTEND: measure page metadata plus contents.
+    OCC_TRACE_SPAN(kSgx, "sgx.eadd", len / vm::kPageSize);
     uint64_t pages = len / vm::kPageSize;
     for (uint64_t i = 0; i < pages; ++i) {
         uint64_t page_vaddr = vaddr + i * vm::kPageSize;
@@ -119,6 +160,7 @@ Enclave::measure_reserved(uint64_t len)
     if (len & vm::kPageMask) {
         return Status(ErrorCode::kInval, "unaligned reserve");
     }
+    OCC_TRACE_SPAN(kSgx, "sgx.eadd_reserve", len / vm::kPageSize);
     uint64_t pages = len / vm::kPageSize;
     for (uint64_t i = 0; i < pages; ++i) {
         Bytes meta;
@@ -141,6 +183,7 @@ Enclave::init()
     }
     measurement_ = measuring_.finish();
     initialized_ = true;
+    OCC_TRACE_INSTANT(kSgx, "sgx.einit");
     return Status();
 }
 
@@ -168,6 +211,7 @@ Enclave::create_report(const Bytes &user_data) const
     report.mac = crypto::hmac_sha256(platform_->report_key().data(),
                                      platform_->report_key().size(),
                                      payload.data(), payload.size());
+    OCC_TRACE_SPAN(kSgx, "sgx.ereport");
     platform_->clock().advance(CostModel::kLocalAttestCycles);
     return report;
 }

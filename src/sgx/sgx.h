@@ -132,9 +132,11 @@ class Enclave
     Status runtime_protect(uint64_t vaddr, uint64_t len, uint8_t perms);
 
     // ---- transition cost charging -------------------------------------
-    void charge_eenter() { charge(CostModel::kEenterCycles); }
-    void charge_eexit() { charge(CostModel::kEexitCycles); }
-    void charge_aex() { charge(CostModel::kAexCycles); }
+    // Out-of-line: each transition opens an sgx-category trace span
+    // around the charge and bumps its registry counter.
+    void charge_eenter();
+    void charge_eexit();
+    void charge_aex();
 
     /** EREPORT: produce a local-attestation report over `user_data`. */
     Report create_report(const Bytes &user_data) const;

@@ -1,0 +1,147 @@
+#include "trace/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "base/stats.h"
+
+namespace occlum::trace {
+
+namespace {
+
+/** Escape a string for a JSON literal (quotes, backslash, control). */
+std::string
+json_escape(const char *s)
+{
+    std::string out;
+    for (; s && *s; ++s) {
+        char c = *s;
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out += format("\\u%04x", c);
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+const char *
+phase_of(EventType type)
+{
+    switch (type) {
+      case EventType::kBegin: return "B";
+      case EventType::kEnd: return "E";
+      case EventType::kInstant: return "i";
+    }
+    return "i";
+}
+
+} // namespace
+
+std::string
+chrome_trace_json(const std::vector<Event> &events, uint64_t dropped)
+{
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    for (const Event &e : events) {
+        if (!first) {
+            out.push_back(',');
+        }
+        first = false;
+        out += format("{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\","
+                      "\"ts\":%.3f,\"pid\":1,\"tid\":1",
+                      json_escape(e.name).c_str(),
+                      category_name(e.cat), phase_of(e.type),
+                      SimClock::cycles_to_micros(e.ts));
+        if (e.type == EventType::kInstant) {
+            out += ",\"s\":\"t\"";
+        }
+        if (e.arg != 0) {
+            out += format(",\"args\":{\"arg\":%" PRIu64 "}", e.arg);
+        }
+        out.push_back('}');
+    }
+    out += format("],\"displayTimeUnit\":\"ms\","
+                  "\"otherData\":{\"dropped\":\"%" PRIu64 "\"}}",
+                  dropped);
+    return out;
+}
+
+Status
+write_chrome_trace(const std::string &path, const Tracer &tracer)
+{
+    return write_text_file(
+        path, chrome_trace_json(tracer.events(), tracer.dropped()));
+}
+
+std::string
+metrics_json(const Registry &registry)
+{
+    std::string out = "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, counter] : registry.counters()) {
+        if (!first) {
+            out.push_back(',');
+        }
+        first = false;
+        out += format("\"%s\":%" PRIu64, json_escape(name.c_str()).c_str(),
+                      counter.value());
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : registry.histograms()) {
+        if (!first) {
+            out.push_back(',');
+        }
+        first = false;
+        out += format("\"%s\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                      ",\"min\":%" PRIu64 ",\"max\":%" PRIu64
+                      ",\"mean\":%.3f,\"p50\":%.1f,\"p95\":%.1f,"
+                      "\"p99\":%.1f}",
+                      json_escape(name.c_str()).c_str(), h.count(),
+                      h.sum(), h.min(), h.max(), h.mean(), h.p50(),
+                      h.p95(), h.p99());
+    }
+    out += "}}";
+    return out;
+}
+
+std::string
+metrics_text(const Registry &registry)
+{
+    std::string out;
+    for (const auto &[name, counter] : registry.counters()) {
+        out += format("%-32s %12" PRIu64 "\n", name.c_str(),
+                      counter.value());
+    }
+    for (const auto &[name, h] : registry.histograms()) {
+        if (h.count() == 0) {
+            continue;
+        }
+        out += format("%-32s count=%" PRIu64 " mean=%.1f p50=%.0f "
+                      "p95=%.0f p99=%.0f max=%" PRIu64 "\n",
+                      name.c_str(), h.count(), h.mean(), h.p50(),
+                      h.p95(), h.p99(), h.max());
+    }
+    return out;
+}
+
+Status
+write_text_file(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        return Status(ErrorCode::kIo, "cannot open " + path);
+    }
+    size_t written = std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    if (written != content.size()) {
+        return Status(ErrorCode::kIo, "short write to " + path);
+    }
+    return Status();
+}
+
+} // namespace occlum::trace

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Trace and metrics exporters.
+ *
+ *  - chrome_trace_json(): the Chrome trace_event JSON array format;
+ *    save it to a file and load it in chrome://tracing (or Perfetto)
+ *    to see the span timeline. Timestamps are simulated microseconds.
+ *  - metrics_json() / metrics_text(): a flat dump of every registered
+ *    counter and histogram (count/mean/p50/p95/p99/min/max), used by
+ *    the benches for machine-readable output.
+ */
+#ifndef OCCLUM_TRACE_EXPORT_H
+#define OCCLUM_TRACE_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
+namespace occlum::trace {
+
+/** Render events as a Chrome trace_event JSON object. */
+std::string chrome_trace_json(const std::vector<Event> &events,
+                              uint64_t dropped = 0);
+
+/** Convenience: export the tracer's retained events to `path`. */
+Status write_chrome_trace(const std::string &path, const Tracer &tracer);
+
+/** All registered metrics as a JSON object. */
+std::string metrics_json(const Registry &registry);
+
+/** All registered metrics as an aligned text block (for stdout). */
+std::string metrics_text(const Registry &registry);
+
+/** Write `content` to `path` (overwriting). */
+Status write_text_file(const std::string &path,
+                       const std::string &content);
+
+} // namespace occlum::trace
+
+#endif // OCCLUM_TRACE_EXPORT_H

@@ -1,0 +1,81 @@
+#include "trace/metrics.h"
+
+namespace occlum::trace {
+
+namespace {
+
+Registry g_registry;
+
+} // namespace
+
+Registry &
+Registry::instance()
+{
+    return g_registry;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    return histograms_[name];
+}
+
+void
+Registry::reset()
+{
+    for (auto &[name, counter] : counters_) {
+        counter.reset();
+    }
+    for (auto &[name, histogram] : histograms_) {
+        histogram.reset();
+    }
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0) {
+        return 0.0;
+    }
+    p = p < 0.0 ? 0.0 : p > 100.0 ? 100.0 : p;
+    // Nearest-rank target (1-based), then interpolate inside the
+    // bucket that contains it.
+    uint64_t target = static_cast<uint64_t>(p / 100.0 * count_);
+    if (target < 1) {
+        target = 1;
+    }
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        if (buckets_[i] == 0) {
+            continue;
+        }
+        if (seen + buckets_[i] >= target) {
+            double lo = static_cast<double>(bucket_lo(i));
+            double hi = static_cast<double>(bucket_hi(i));
+            double frac = buckets_[i] == 1
+                              ? 0.5
+                              : static_cast<double>(target - seen - 1) /
+                                    static_cast<double>(buckets_[i] - 1);
+            double value = lo + frac * (hi - lo);
+            // The true samples lie in [min_, max_]; never report
+            // outside the observed range.
+            if (value < static_cast<double>(min_)) {
+                value = static_cast<double>(min_);
+            }
+            if (value > static_cast<double>(max_)) {
+                value = static_cast<double>(max_);
+            }
+            return value;
+        }
+        seen += buckets_[i];
+    }
+    return static_cast<double>(max_);
+}
+
+} // namespace occlum::trace

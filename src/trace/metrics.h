@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Metrics registry: named monotonic counters and log-bucketed
+ * histograms that subsystems register once (typically at
+ * construction, caching the returned pointer) and bump on hot paths.
+ *
+ * Histograms use power-of-two buckets — bucket i holds values whose
+ * bit width is i, i.e. [2^(i-1), 2^i) — so recording is one
+ * bit_width() and one increment regardless of the value range, and
+ * p50/p95/p99 come from a bucket walk with linear interpolation,
+ * clamped to the observed [min, max]. That trades exactness for O(1)
+ * memory; benches that need exact percentiles over few samples use
+ * occlum::Aggregate instead.
+ */
+#ifndef OCCLUM_TRACE_METRICS_H
+#define OCCLUM_TRACE_METRICS_H
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace occlum::trace {
+
+/** A monotonic named counter. */
+class Counter
+{
+  public:
+    void add(uint64_t n = 1) { value_ += n; }
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Log2-bucketed histogram with approximate percentiles. */
+class Histogram
+{
+  public:
+    /** Bucket i covers values with bit width i: [2^(i-1), 2^i). */
+    static constexpr size_t kBuckets = 65;
+
+    void
+    record(uint64_t value)
+    {
+        if (count_ == 0) {
+            min_ = max_ = value;
+        } else {
+            min_ = value < min_ ? value : min_;
+            max_ = value > max_ ? value : max_;
+        }
+        ++count_;
+        sum_ += value;
+        ++buckets_[bucket_index(value)];
+    }
+
+    uint64_t count() const { return count_; }
+    uint64_t sum() const { return sum_; }
+    uint64_t min() const { return min_; }
+    uint64_t max() const { return max_; }
+    double mean() const { return count_ ? double(sum_) / count_ : 0.0; }
+
+    /** Approximate value at percentile p in [0, 100]. */
+    double percentile(double p) const;
+    double p50() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+
+    const std::array<uint64_t, kBuckets> &buckets() const
+    {
+        return buckets_;
+    }
+
+    static size_t
+    bucket_index(uint64_t value)
+    {
+        return static_cast<size_t>(std::bit_width(value));
+    }
+
+    /** Inclusive value range [lo, hi] covered by bucket i. */
+    static uint64_t bucket_lo(size_t i)
+    {
+        return i == 0 ? 0 : 1ull << (i - 1);
+    }
+    static uint64_t bucket_hi(size_t i)
+    {
+        return i == 0 ? 0 : i >= 64 ? ~0ull : (1ull << i) - 1;
+    }
+
+    void
+    reset()
+    {
+        buckets_.fill(0);
+        count_ = sum_ = min_ = max_ = 0;
+    }
+
+  private:
+    std::array<uint64_t, kBuckets> buckets_{};
+    uint64_t count_ = 0;
+    uint64_t sum_ = 0;
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
+};
+
+/**
+ * The process-wide registry. Entries are created on first lookup and
+ * never erased, so cached Counter / Histogram pointers stay valid
+ * across reset() (which only zeroes values).
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    Counter &counter(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** Zero every metric; registrations (and addresses) survive. */
+    void reset();
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace occlum::trace
+
+#endif // OCCLUM_TRACE_METRICS_H

@@ -1,0 +1,110 @@
+#include "trace/trace.h"
+
+#include "base/log.h"
+
+namespace occlum::trace {
+
+namespace {
+
+Tracer g_tracer;
+
+size_t
+round_up_pow2(size_t n)
+{
+    size_t cap = 1;
+    while (cap < n) {
+        cap <<= 1;
+    }
+    return cap;
+}
+
+} // namespace
+
+Tracer &
+Tracer::instance()
+{
+    return g_tracer;
+}
+
+void
+Tracer::enable(size_t capacity)
+{
+    OCC_CHECK_MSG(capacity > 0, "tracer capacity must be positive");
+    size_t cap = round_up_pow2(capacity);
+    ring_.assign(cap, Event{});
+    mask_ = cap - 1;
+    cursor_.store(0, std::memory_order_relaxed);
+    enabled_ = true;
+}
+
+void
+Tracer::clear()
+{
+    cursor_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<Event>
+Tracer::events() const
+{
+    uint64_t total = recorded();
+    uint64_t first = total > ring_.size() ? total - ring_.size() : 0;
+    std::vector<Event> out;
+    out.reserve(total - first);
+    for (uint64_t i = first; i < total; ++i) {
+        out.push_back(ring_[i & mask_]);
+    }
+    return out;
+}
+
+const char *
+category_name(Category cat)
+{
+    switch (cat) {
+      case Category::kVm: return "vm";
+      case Category::kSgx: return "sgx";
+      case Category::kLibos: return "libos";
+      case Category::kFs: return "fs";
+      case Category::kOcall: return "ocall";
+      case Category::kSched: return "sched";
+      case Category::kNet: return "net";
+      case Category::kHost: return "host";
+      case Category::kCount: break;
+    }
+    return "?";
+}
+
+std::array<uint64_t, kNumCategories>
+self_cycles_by_category(const std::vector<Event> &events)
+{
+    std::array<uint64_t, kNumCategories> self{};
+    struct Open {
+        Category cat;
+        uint64_t last_ts;
+    };
+    std::vector<Open> stack;
+    for (const Event &e : events) {
+        if (!stack.empty()) {
+            Open &top = stack.back();
+            self[static_cast<size_t>(top.cat)] += e.ts - top.last_ts;
+            top.last_ts = e.ts;
+        }
+        switch (e.type) {
+          case EventType::kBegin:
+            stack.push_back({e.cat, e.ts});
+            break;
+          case EventType::kEnd:
+            if (!stack.empty()) {
+                stack.pop_back();
+                if (!stack.empty()) {
+                    stack.back().last_ts = e.ts;
+                }
+            }
+            break;
+          case EventType::kInstant:
+            break;
+        }
+    }
+    return self;
+}
+
+} // namespace occlum::trace

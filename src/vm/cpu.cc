@@ -1,6 +1,8 @@
 #include "vm/cpu.h"
 
 #include "base/log.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace occlum::vm {
 
@@ -77,6 +79,41 @@ Cpu::eval_cond(isa::Cond cond) const
 
 CpuExit
 Cpu::run(uint64_t max_instructions)
+{
+    uint64_t before_instrs = instructions_;
+    CpuExit exit = run_interpret(max_instructions);
+
+    // Dispatch-level metrics: one registry lookup per process (the
+    // entries are process-wide), one add per executed quantum.
+    static trace::Counter *ctr_instrs =
+        &trace::Registry::instance().counter("vm.instructions");
+    static trace::Counter *ctr_quanta =
+        &trace::Registry::instance().counter("vm.quanta");
+    static trace::Counter *ctr_ltraps =
+        &trace::Registry::instance().counter("vm.ltraps");
+    static trace::Counter *ctr_faults =
+        &trace::Registry::instance().counter("vm.faults");
+    ctr_instrs->add(instructions_ - before_instrs);
+    ctr_quanta->add();
+    switch (exit.kind) {
+      case ExitKind::kLtrap:
+        ctr_ltraps->add();
+        break;
+      case ExitKind::kFault:
+        ctr_faults->add();
+        OCC_TRACE_INSTANT(kVm, "cpu.fault", exit.fault_addr);
+        break;
+      case ExitKind::kPrivileged:
+        OCC_TRACE_INSTANT(kVm, "cpu.priv", exit.rip);
+        break;
+      case ExitKind::kInstrBudget:
+        break;
+    }
+    return exit;
+}
+
+CpuExit
+Cpu::run_interpret(uint64_t max_instructions)
 {
     CpuExit exit;
     auto fault = [&](FaultKind kind, uint64_t addr) {

@@ -106,6 +106,9 @@ class Cpu
     CpuExit run(uint64_t max_instructions);
 
   private:
+    /** The interpreter loop proper; run() wraps it with metrics. */
+    CpuExit run_interpret(uint64_t max_instructions);
+
     struct DecodeEntry {
         isa::Instruction instr;
         uint64_t generation = ~0ull;
