@@ -12,14 +12,27 @@
  */
 #include "bench/bench_util.h"
 
+#include "trace/metrics.h"
+
 using namespace occlum;
 
 namespace {
 
+/** Block-cache counter deltas accumulated by a run_kernel() call. */
+struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+};
+
 /** Simulated cycles from spawn completion to exit. */
 double
-run_kernel(const Bytes &image)
+run_kernel(const Bytes &image, CacheStats *stats = nullptr)
 {
+    auto &hits = trace::Registry::instance().counter(
+        "vm.block_cache.hits");
+    auto &misses = trace::Registry::instance().counter(
+        "vm.block_cache.misses");
+    uint64_t hits0 = hits.value(), misses0 = misses.value();
     SimClock clock;
     host::HostFileStore files;
     files.put("kern", image);
@@ -30,6 +43,10 @@ run_kernel(const Bytes &image)
     sys.run();
     auto code = sys.exit_code(pid.value());
     OCC_CHECK_MSG(code.ok() && code.value() >= 0, "kernel failed");
+    if (stats) {
+        stats->hits += hits.value() - hits0;
+        stats->misses += misses.value() - misses0;
+    }
     return static_cast<double>(clock.cycles() - after_spawn);
 }
 
@@ -40,7 +57,7 @@ main()
 {
     Table table("Fig 7a: MMDSFI overhead on SPECint2006-like kernels");
     table.set_header({"benchmark", "plain (Mcycles)",
-                      "MMDSFI (Mcycles)", "overhead"});
+                      "MMDSFI (Mcycles)", "overhead", "bb hit rate"});
 
     Aggregate overheads;
     bench::JsonReport report("fig7a_specint");
@@ -48,16 +65,22 @@ main()
     for (const std::string &name : workloads::spec_kernel_names()) {
         workloads::ProgramBuild build = workloads::build_program(
             workloads::spec_kernel_source(name), 0, 2 << 20);
-        double plain = run_kernel(build.plain);
-        double sfi = run_kernel(build.occlum);
+        CacheStats cache;
+        double plain = run_kernel(build.plain, &cache);
+        double sfi = run_kernel(build.occlum, &cache);
         double overhead = sfi / plain - 1.0;
+        double lookups = static_cast<double>(cache.hits + cache.misses);
+        double hit_rate =
+            lookups > 0 ? static_cast<double>(cache.hits) / lookups : 0;
         overheads.add(overhead);
         table.add_row({name, format("%.1f", plain / 1e6),
                        format("%.1f", sfi / 1e6),
-                       format("%.1f%%", overhead * 100)});
+                       format("%.1f%%", overhead * 100),
+                       format("%.2f%%", hit_rate * 100)});
         report.add(name, "plain_mcycles", plain / 1e6);
         report.add(name, "mmdsfi_mcycles", sfi / 1e6);
         report.add(name, "overhead_pct", overhead * 100);
+        report.add(name, "block_cache_hit_rate_pct", hit_rate * 100);
     }
     table.add_row({"MEAN", "", "",
                    format("%.1f%%", overheads.mean() * 100)});

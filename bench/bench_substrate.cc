@@ -49,8 +49,13 @@ BM_AesCtr(benchmark::State &state)
 }
 BENCHMARK(BM_AesCtr)->Arg(4096);
 
+/**
+ * Interpreter throughput. `cache` toggles the predecoded basic-block
+ * cache so its wall-clock win is visible in one report; simulated
+ * cycles are identical either way (asserted by the ablation bench).
+ */
 void
-BM_VmInterpreter(benchmark::State &state)
+vm_interpreter_bench(benchmark::State &state, bool cache)
 {
     vm::AddressSpace space;
     OCC_CHECK(space.map(0x1000, 0x1000, vm::kPermRX).ok());
@@ -68,17 +73,36 @@ BM_VmInterpreter(benchmark::State &state)
     Bytes code = a.finish();
     OCC_CHECK(space.write_raw(0x1000, code.data(), code.size()) ==
               vm::AccessFault::kNone);
+    uint64_t hits = 0, misses = 0;
     for (auto _ : state) {
         vm::Cpu cpu(space);
+        cpu.set_block_cache_enabled(cache);
         cpu.set_rip(0x1000);
         cpu.set_sp(0x11000 - 16);
         benchmark::DoNotOptimize(cpu.run(100000));
+        hits = cpu.block_cache_hits();
+        misses = cpu.block_cache_misses();
         state.counters["instr/s"] = benchmark::Counter(
             static_cast<double>(cpu.instructions()),
             benchmark::Counter::kIsIterationInvariantRate);
     }
+    state.counters["bb_hits"] = static_cast<double>(hits);
+    state.counters["bb_misses"] = static_cast<double>(misses);
+}
+
+void
+BM_VmInterpreter(benchmark::State &state)
+{
+    vm_interpreter_bench(state, /*cache=*/true);
 }
 BENCHMARK(BM_VmInterpreter);
+
+void
+BM_VmInterpreterNoCache(benchmark::State &state)
+{
+    vm_interpreter_bench(state, /*cache=*/false);
+}
+BENCHMARK(BM_VmInterpreterNoCache);
 
 void
 BM_CompileMiniC(benchmark::State &state)

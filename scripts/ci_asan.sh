@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI job: build the whole tree with AddressSanitizer + UBSan and run
+# the tier-1 test suite. Catches lifetime bugs the plain build can't —
+# e.g. stale Page or Block pointers left behind by the interpreter's
+# block cache or the address-space TLB after an unmap.
+#
+# Usage: scripts/ci_asan.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DOCCLUM_SANITIZE=address,undefined
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# halt_on_error: a sanitizer report must fail the job, not scroll by.
+export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1:detect_stack_use_after_return=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

@@ -64,14 +64,25 @@ EncFs::charge_ocall()
     clock_->advance(config_.ocall_cycles);
 }
 
+std::array<uint8_t, 12>
+EncFs::ctr_iv(uint32_t block, uint64_t counter)
+{
+    // LE32(block) || LE64(counter): every (block, counter) pair gets
+    // a unique 96-bit nonce, and the 32-bit in-call counter word
+    // (always started at 0) only ever counts the 256 AES blocks of
+    // one 4 KiB payload. The previous packing dropped the counter's
+    // high 32 bits into the in-call counter word, so counters 2^32
+    // apart shared a nonce and produced overlapping keystream.
+    std::array<uint8_t, 12> iv{};
+    set_le<uint32_t>(iv.data(), block);
+    set_le<uint64_t>(iv.data() + 4, counter);
+    return iv;
+}
+
 Bytes
 EncFs::crypt_block(uint32_t block, uint64_t counter, const Bytes &in) const
 {
-    std::array<uint8_t, 12> iv{};
-    set_le<uint64_t>(iv.data(), block);
-    set_le<uint32_t>(iv.data() + 8, static_cast<uint32_t>(counter));
-    return cipher_.ctr_crypt(iv, static_cast<uint32_t>(counter >> 32),
-                             in);
+    return cipher_.ctr_crypt(ctr_iv(block, counter), 0, in);
 }
 
 crypto::Sha256Digest

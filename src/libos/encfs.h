@@ -51,6 +51,17 @@ class EncFs
     static constexpr uint64_t kBlockSize = host::BlockDevice::kBlockSize;
     static constexpr uint32_t kNoBlock = 0xffffffff;
 
+    /**
+     * CTR nonce for (block, write-counter): LE32(block)||LE64(counter).
+     * The in-call 32-bit counter word always starts at 0 and only
+     * counts the 256 AES blocks inside one 4 KiB payload, so no two
+     * (block, counter) pairs share keystream — in particular not when
+     * a write counter crosses the 32-bit boundary. Public so tests
+     * can audit nonce uniqueness around the wrap.
+     */
+    static std::array<uint8_t, 12> ctr_iv(uint32_t block,
+                                          uint64_t counter);
+
     struct Config {
         crypto::Key128 key{};      // sealed FS key
         uint32_t inode_count = 512;

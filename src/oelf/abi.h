@@ -5,7 +5,9 @@
  *
  * Register conventions:
  *   r0        syscall number / return value / function return value
- *   r1..r5    function + syscall arguments
+ *   r1..r5    function arguments
+ *   r1..r6    syscall arguments (Linux-style: up to 6; the 6th rides
+ *             in r6, which is otherwise a temporary)
  *   r6..r12   caller-saved temporaries
  *   r13       instrumentation scratch (cfi_guard) — never holds data
  *   r14       caller-saved temporary
@@ -19,7 +21,7 @@
  *
  * The first kPcbSize bytes of the data region hold the process
  * control block (PCB), written by the loader; user code addresses it
- * RIP-relatively. Syscalls: put the number in r0, args in r1..r5,
+ * RIP-relatively. Syscalls: put the number in r0, args in r1..r6,
  * then cfi_guard + call_reg the trampoline address found in the PCB.
  * The LibOS pops the return address, validates it is a cfi_label of
  * the calling SIP (paper §6), writes the result to r0, and resumes.
@@ -30,6 +32,9 @@
 #include <cstdint>
 
 namespace occlum::abi {
+
+/** Syscall argument registers: r1..r(kSyscallArgs), Linux-style. */
+constexpr int kSyscallArgs = 6;
 
 /** Size reserved for the PCB at the start of the data region. */
 constexpr uint64_t kPcbSize = 1024;
@@ -58,7 +63,9 @@ enum class Sys : uint64_t {
     kDup2 = 9,       // dup2(oldfd, newfd)
     kLseek = 10,     // lseek(fd, off, whence) -> pos
     kUnlink = 11,    // unlink(path, path_len)
-    kMmap = 12,      // mmap(len) -> addr (anonymous, RW)
+    kMmap = 12,      // mmap(addr, len, prot, flags, fd, off) -> addr
+                     //   (anonymous RW only: fd must be -1, off
+                     //    page-aligned, prot must not request X)
     kMunmap = 13,    // munmap(addr, len)
     kTime = 14,      // time() -> simulated nanoseconds
     kKill = 15,      // kill(pid, sig)

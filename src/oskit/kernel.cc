@@ -300,7 +300,7 @@ Kernel::step_round()
             }
             proc.in_syscall = true;
             proc.sys_num = proc.cpu->reg(0);
-            for (int i = 0; i < 5; ++i) {
+            for (int i = 0; i < abi::kSyscallArgs; ++i) {
                 proc.sys_args[i] = proc.cpu->reg(1 + i);
             }
             proc.sys_ret_addr = ret;
@@ -389,7 +389,8 @@ Kernel::handle_syscall(Process &proc)
 }
 
 std::optional<int64_t>
-Kernel::dispatch(Process &proc, uint64_t num, const uint64_t args[5])
+Kernel::dispatch(Process &proc, uint64_t num,
+                 const uint64_t args[abi::kSyscallArgs])
 {
     auto file_of = [&](uint64_t fd) -> FilePtr {
         auto it = proc.fds.find(static_cast<int>(fd));
@@ -510,11 +511,14 @@ Kernel::dispatch(Process &proc, uint64_t num, const uint64_t args[5])
         auto pipe = std::make_shared<Pipe>();
         auto read_end = std::make_shared<PipeEnd>(pipe, true);
         auto write_end = std::make_shared<PipeEnd>(pipe, false);
+        // Install each end before allocating the next descriptor:
+        // alloc_fd() hands out the lowest fd absent from the table,
+        // so two back-to-back allocations would alias.
         int rfd = proc.alloc_fd();
-        int wfd = proc.alloc_fd();
         read_end->on_fd_acquire();
-        write_end->on_fd_acquire();
         proc.fds[rfd] = read_end;
+        int wfd = proc.alloc_fd();
+        write_end->on_fd_acquire();
         proc.fds[wfd] = write_end;
         int64_t fds[2] = {rfd, wfd};
         if (!copy_to_user(proc, args[0], fds, sizeof(fds)).ok()) {
@@ -560,7 +564,27 @@ Kernel::dispatch(Process &proc, uint64_t num, const uint64_t args[5])
       }
 
       case Sys::kMmap: {
-        uint64_t len = (args[0] + vm::kPageMask) & ~vm::kPageMask;
+        // Linux-shaped: mmap(addr, len, prot, flags, fd, off). Only
+        // anonymous private RW mappings exist in the model; the addr
+        // hint is ignored (mappings come from the per-process bump
+        // range). The full 6-register marshalling matters here: off
+        // is argument six.
+        constexpr uint64_t kMapAnonymous = 0x20;
+        uint64_t prot = args[2];
+        uint64_t flags = args[3];
+        int64_t fd = static_cast<int64_t>(args[4]);
+        uint64_t off = args[5];
+        if (off & vm::kPageMask) return neg_errno(ErrorCode::kInval);
+        if (!(flags & kMapAnonymous) || fd != -1 || off != 0) {
+            // File-backed mappings are not part of the model.
+            return neg_errno(ErrorCode::kNoSys);
+        }
+        if (prot & ~static_cast<uint64_t>(vm::kPermRW)) {
+            // W^X inside the enclave: PROT_EXEC via mmap would let a
+            // SIP forge unverified code pages.
+            return neg_errno(ErrorCode::kPerm);
+        }
+        uint64_t len = (args[1] + vm::kPageMask) & ~vm::kPageMask;
         if (len == 0) return neg_errno(ErrorCode::kInval);
         uint64_t addr = (proc.mmap_cursor + vm::kPageMask) &
                         ~vm::kPageMask;

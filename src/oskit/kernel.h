@@ -64,7 +64,6 @@ struct Process {
     vm::AddressSpace *space = nullptr;
 
     std::map<int, FilePtr> fds;
-    int next_fd = 3;
 
     std::vector<std::string> argv;
 
@@ -87,13 +86,26 @@ struct Process {
     /** In-flight (possibly blocked) syscall state. */
     bool in_syscall = false;
     uint64_t sys_num = 0;
-    uint64_t sys_args[5] = {};
+    uint64_t sys_args[abi::kSyscallArgs] = {};
     uint64_t sys_ret_addr = 0;
 
+    /**
+     * POSIX-style allocation: the lowest descriptor not currently in
+     * the fd table. The caller must install the returned fd in `fds`
+     * before allocating again (pipe() allocates two in a row), or the
+     * same number comes back twice.
+     */
     int
-    alloc_fd()
+    alloc_fd() const
     {
-        return next_fd++;
+        int fd = 0;
+        for (const auto &entry : fds) {
+            if (entry.first != fd) {
+                break;
+            }
+            ++fd;
+        }
+        return fd;
     }
 };
 
@@ -270,7 +282,7 @@ class Kernel
 
     /** Dispatch by number; nullopt = would block (retry later). */
     std::optional<int64_t> dispatch(Process &proc, uint64_t num,
-                                    const uint64_t args[5]);
+                                    const uint64_t args[abi::kSyscallArgs]);
 
     SimClock *clock_;
     host::HostFileStore *binaries_;

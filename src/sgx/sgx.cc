@@ -194,7 +194,16 @@ Enclave::runtime_protect(uint64_t vaddr, uint64_t len, uint8_t perms)
         return Status(ErrorCode::kPerm,
                       "SGX1: page permissions are frozen after EINIT");
     }
-    return mem_.protect(vaddr, len, perms);
+    uint64_t gen_before = mem_.code_generation();
+    OCC_RETURN_IF_ERROR(mem_.protect(vaddr, len, perms));
+    if (mem_.code_generation() != gen_before) {
+        // The permission change involved an executable page, so the
+        // address space advanced its code generation — every CPU
+        // block/decode cache derived from these pages is now stale
+        // and will be rebuilt on next dispatch.
+        OCC_TRACE_INSTANT(kSgx, "sgx.protect.code_invalidate", vaddr);
+    }
+    return Status();
 }
 
 Report
@@ -203,8 +212,10 @@ Enclave::create_report(const Bytes &user_data) const
     OCC_CHECK_MSG(initialized_, "EREPORT before EINIT");
     Report report;
     report.measurement = measurement_;
-    std::memcpy(report.user_data.data(), user_data.data(),
-                std::min(user_data.size(), report.user_data.size()));
+    if (!user_data.empty()) {
+        std::memcpy(report.user_data.data(), user_data.data(),
+                    std::min(user_data.size(), report.user_data.size()));
+    }
     Bytes payload(report.measurement.begin(), report.measurement.end());
     payload.insert(payload.end(), report.user_data.begin(),
                    report.user_data.end());

@@ -1267,8 +1267,8 @@ FnCompiler::gen_builtin(const Expr &expr)
         return value.value();
     }
     if (name == "syscall") {
-        if (expr.args.empty() || expr.args.size() > 6) {
-            return pc_.err(line, "syscall takes 1..6 arguments");
+        if (expr.args.empty() || expr.args.size() > 7) {
+            return pc_.err(line, "syscall takes 1..7 arguments");
         }
         std::vector<uint8_t> arg_regs;
         for (const auto &arg : expr.args) {
@@ -1277,7 +1277,9 @@ FnCompiler::gen_builtin(const Expr &expr)
             arg_regs.push_back(r.value());
         }
         uint32_t saved = save_live_temps(arg_regs);
-        // r0 = number; r1..r5 = args.
+        // r0 = number; r1..r6 = args (Linux-style six-argument ABI).
+        // Ascending target order is clobber-free: targets r0..r5 are
+        // never temporaries, and the r6 write is the final step.
         mov_rr(0, arg_regs[0]);
         for (size_t i = 1; i < arg_regs.size(); ++i) {
             mov_rr(static_cast<uint8_t>(i), arg_regs[i]);

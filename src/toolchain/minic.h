@@ -18,7 +18,7 @@
  *   builtins:
  *     wload(addr) wstore(addr, v)      // 64-bit memory access
  *     bload(addr) bstore(addr, v)      // byte access
- *     syscall(num, a1..a5)             // LibOS syscall (trailing args opt.)
+ *     syscall(num, a1..a6)             // LibOS syscall (trailing args opt.)
  *     heap_begin() heap_end() argc()   // PCB accessors
  *     rdcycle()                        // simulated cycle counter
  *   string literals evaluate to the address of a NUL-terminated byte

@@ -30,7 +30,10 @@ func pipe(fds) { return syscall(8, fds); }
 func dup2(oldfd, newfd) { return syscall(9, oldfd, newfd); }
 func lseek(fd, off, whence) { return syscall(10, fd, off, whence); }
 func unlink(path) { return syscall(11, path, strlen(path)); }
-func mmap(len) { return syscall(12, len); }
+// mmap is Linux-shaped at the kernel boundary: this convenience
+// wrapper requests an anonymous private RW mapping (prot=RW=3,
+// flags=MAP_PRIVATE|MAP_ANONYMOUS=34, fd=-1, off=0).
+func mmap(len) { return syscall(12, 0, len, 3, 34, 0 - 1, 0); }
 func munmap(addr, len) { return syscall(13, addr, len); }
 func time_ns() { return syscall(14); }
 func kill(pid, sig) { return syscall(15, pid, sig); }

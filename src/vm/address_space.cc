@@ -22,14 +22,29 @@ AddressSpace::map(uint64_t addr, uint64_t len, uint8_t perms)
         page.perms = perms;
         pages_.emplace(a / kPageSize, std::move(page));
     }
+    if (perms & kPermX) {
+        // New executable pages may complete instructions that cached
+        // blocks previously saw as truncated at an unmapped boundary.
+        touch_code();
+    }
     return Status();
 }
 
 void
 AddressSpace::unmap(uint64_t addr, uint64_t len)
 {
+    bool had_exec = false;
     for (uint64_t a = addr & ~kPageMask; a < addr + len; a += kPageSize) {
-        pages_.erase(a / kPageSize);
+        auto it = pages_.find(a / kPageSize);
+        if (it == pages_.end()) {
+            continue;
+        }
+        had_exec = had_exec || (it->second.perms & kPermX);
+        pages_.erase(it);
+    }
+    flush_tlb(); // erased nodes may be cached in the TLB
+    if (had_exec) {
+        touch_code();
     }
 }
 
@@ -44,8 +59,17 @@ AddressSpace::protect(uint64_t addr, uint64_t len, uint8_t perms)
             return Status(ErrorCode::kNoMem, "protect: page not mapped");
         }
     }
+    bool touched_exec = false;
     for (uint64_t a = addr; a < addr + len; a += kPageSize) {
-        pages_[a / kPageSize].perms = perms;
+        Page &page = pages_[a / kPageSize];
+        // Permission changes that add or remove X (the SGX EMODPE /
+        // runtime_protect paths) invalidate predecoded blocks: what
+        // was fetchable may no longer be, and vice versa.
+        touched_exec = touched_exec || ((page.perms | perms) & kPermX);
+        page.perms = perms;
+    }
+    if (touched_exec) {
+        touch_code();
     }
     return Status();
 }
@@ -68,29 +92,48 @@ AddressSpace::perms_at(uint64_t addr) const
     return page ? page->perms : static_cast<uint8_t>(kPermNone);
 }
 
+void
+AddressSpace::flush_tlb() const
+{
+    tlb_.fill(TlbEntry{});
+}
+
+AddressSpace::Page *
+AddressSpace::lookup_page(uint64_t page_no) const
+{
+    TlbEntry &entry = tlb_[page_no % kTlbEntries];
+    if (entry.page_no == page_no) {
+        return entry.page;
+    }
+    auto it = pages_.find(page_no);
+    if (it == pages_.end()) {
+        return nullptr; // misses are not cached (map() must be seen)
+    }
+    entry.page_no = page_no;
+    entry.page = const_cast<Page *>(&it->second);
+    return entry.page;
+}
+
 const AddressSpace::Page *
 AddressSpace::find_page(uint64_t addr) const
 {
-    auto it = pages_.find(addr / kPageSize);
-    return it == pages_.end() ? nullptr : &it->second;
+    return lookup_page(addr / kPageSize);
 }
 
 AddressSpace::Page *
 AddressSpace::find_page(uint64_t addr)
 {
-    auto it = pages_.find(addr / kPageSize);
-    return it == pages_.end() ? nullptr : &it->second;
+    return lookup_page(addr / kPageSize);
 }
 
 template <bool Write>
 AccessFault
 AddressSpace::access(uint64_t addr, void *buf, uint64_t len, uint8_t require)
 {
-    uint8_t *out = static_cast<uint8_t *>(buf);
-    uint64_t done = 0;
-    while (done < len) {
-        uint64_t a = addr + done;
-        Page *page = find_page(a);
+    // Fast path: the access stays inside one page (nearly every data
+    // access the interpreter issues).
+    if ((addr & kPageMask) + len <= kPageSize) {
+        Page *page = lookup_page(addr / kPageSize);
         if (!page) {
             return AccessFault::kUnmapped;
         }
@@ -99,16 +142,54 @@ AddressSpace::access(uint64_t addr, void *buf, uint64_t len, uint8_t require)
             if (require & kPermX) return AccessFault::kNoExec;
             return AccessFault::kNoRead;
         }
+        if constexpr (Write) {
+            std::memcpy(page->data.get() + (addr & kPageMask), buf, len);
+            if (page->perms & kPermX) {
+                touch_code();
+            }
+        } else {
+            std::memcpy(buf, page->data.get() + (addr & kPageMask), len);
+        }
+        return AccessFault::kNone;
+    }
+
+    uint8_t *out = static_cast<uint8_t *>(buf);
+    uint64_t done = 0;
+    bool wrote_exec = false;
+    // Even a faulting multi-page write has already modified the pages
+    // before the fault, so the generation bump must happen on every
+    // exit path, not only on success.
+    auto finish = [&](AccessFault f) {
+        if (Write && wrote_exec) {
+            touch_code();
+        }
+        return f;
+    };
+    while (done < len) {
+        uint64_t a = addr + done;
+        Page *page = find_page(a);
+        if (!page) {
+            return finish(AccessFault::kUnmapped);
+        }
+        if (require && !(page->perms & require)) {
+            if (require & kPermW) return finish(AccessFault::kNoWrite);
+            if (require & kPermX) return finish(AccessFault::kNoExec);
+            return finish(AccessFault::kNoRead);
+        }
         uint64_t in_page = kPageSize - (a & kPageMask);
         uint64_t n = std::min(in_page, len - done);
         if constexpr (Write) {
             std::memcpy(page->data.get() + (a & kPageMask), out + done, n);
+            wrote_exec = wrote_exec || (page->perms & kPermX);
         } else {
             std::memcpy(out + done, page->data.get() + (a & kPageMask), n);
         }
         done += n;
     }
-    return AccessFault::kNone;
+    // Writes into executable pages (guest stores through an RWX
+    // mapping, loader/debugger pokes via write_raw) invalidate
+    // predecoded blocks covering those bytes.
+    return finish(AccessFault::kNone);
 }
 
 AccessFault

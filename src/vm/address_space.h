@@ -11,6 +11,7 @@
 #ifndef OCCLUM_VM_ADDRESS_SPACE_H
 #define OCCLUM_VM_ADDRESS_SPACE_H
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -83,7 +84,13 @@ class AddressSpace
     /** Number of currently mapped pages. */
     size_t mapped_pages() const { return pages_.size(); }
 
-    /** Bump the generation counter (invalidates CPU decode caches). */
+    /**
+     * Bump the generation counter (invalidates CPU block/decode
+     * caches). The counter also advances automatically on any write
+     * into an executable page and on map/protect/unmap operations
+     * that add or remove X permission, so callers only need this for
+     * out-of-band modifications (e.g. tests poking at raw pages).
+     */
     void touch_code() { ++code_generation_; }
     uint64_t code_generation() const { return code_generation_; }
 
@@ -93,8 +100,22 @@ class AddressSpace
         uint8_t perms = kPermNone;
     };
 
+    /**
+     * Direct-mapped software TLB over the page table. Entries cache
+     * Page pointers, which unordered_map keeps stable across inserts;
+     * only unmap() (node erase) has to flush. Permissions are read
+     * through the pointer, so protect() needs no flush either.
+     */
+    static constexpr size_t kTlbEntries = 64;
+    struct TlbEntry {
+        uint64_t page_no = ~0ull;
+        Page *page = nullptr;
+    };
+
+    Page *lookup_page(uint64_t page_no) const;
     const Page *find_page(uint64_t addr) const;
     Page *find_page(uint64_t addr);
+    void flush_tlb() const;
 
     /** Generic copy loop; `require` selects the permission bit. */
     template <bool Write>
@@ -102,6 +123,7 @@ class AddressSpace
                        uint8_t require);
 
     std::unordered_map<uint64_t, Page> pages_;
+    mutable std::array<TlbEntry, kTlbEntries> tlb_{};
     uint64_t code_generation_ = 0;
 };
 

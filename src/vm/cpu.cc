@@ -11,6 +11,11 @@ using isa::Opcode;
 
 namespace {
 
+/** Longest straight-line run kept in one cached block. */
+constexpr size_t kMaxBlockInstrs = 64;
+
+bool g_default_block_cache_enabled = true;
+
 FaultKind
 data_fault_kind(AccessFault fault)
 {
@@ -24,7 +29,38 @@ data_fault_kind(AccessFault fault)
     return FaultKind::kNone;
 }
 
+/**
+ * True if `op` must terminate a cached block: every control transfer
+ * (the next rip is data-dependent) and every dangerous instruction
+ * (ltrap + privileged ops, which make run() return).
+ */
+bool
+ends_block(Opcode op)
+{
+    return isa::is_dangerous(op) ||
+           isa::transfer_kind(op) != isa::TransferKind::kNone;
+}
+
 } // namespace
+
+void
+Cpu::set_default_block_cache_enabled(bool on)
+{
+    g_default_block_cache_enabled = on;
+}
+
+bool
+Cpu::default_block_cache_enabled()
+{
+    return g_default_block_cache_enabled;
+}
+
+void
+Cpu::set_block_cache_enabled(bool on)
+{
+    block_cache_enabled_ = on;
+    block_cache_.clear();
+}
 
 uint64_t
 Cpu::effective_address(const isa::MemOperand &mem, uint64_t instr_end) const
@@ -81,7 +117,12 @@ CpuExit
 Cpu::run(uint64_t max_instructions)
 {
     uint64_t before_instrs = instructions_;
-    CpuExit exit = run_interpret(max_instructions);
+    uint64_t before_hits = bb_hits_;
+    uint64_t before_misses = bb_misses_;
+    uint64_t before_inval = bb_invalidations_;
+    CpuExit exit = block_cache_enabled_
+                       ? run_blocks(max_instructions)
+                       : run_decode_loop(max_instructions);
 
     // Dispatch-level metrics: one registry lookup per process (the
     // entries are process-wide), one add per executed quantum.
@@ -93,8 +134,17 @@ Cpu::run(uint64_t max_instructions)
         &trace::Registry::instance().counter("vm.ltraps");
     static trace::Counter *ctr_faults =
         &trace::Registry::instance().counter("vm.faults");
+    static trace::Counter *ctr_bb_hits =
+        &trace::Registry::instance().counter("vm.block_cache.hits");
+    static trace::Counter *ctr_bb_misses =
+        &trace::Registry::instance().counter("vm.block_cache.misses");
+    static trace::Counter *ctr_bb_inval =
+        &trace::Registry::instance().counter("vm.block_cache.invalidations");
     ctr_instrs->add(instructions_ - before_instrs);
     ctr_quanta->add();
+    ctr_bb_hits->add(bb_hits_ - before_hits);
+    ctr_bb_misses->add(bb_misses_ - before_misses);
+    ctr_bb_inval->add(bb_invalidations_ - before_inval);
     switch (exit.kind) {
       case ExitKind::kLtrap:
         ctr_ltraps->add();
@@ -112,315 +162,481 @@ Cpu::run(uint64_t max_instructions)
     return exit;
 }
 
+FaultKind
+Cpu::decode_at(uint64_t rip, Instruction *out)
+{
+    uint8_t buf[16];
+    uint64_t got = 0;
+    while (got < sizeof(buf)) {
+        if (mem_->fetch(rip + got, buf + got, 1) != AccessFault::kNone) {
+            break;
+        }
+        ++got;
+    }
+    if (got == 0) {
+        return FaultKind::kExecFault;
+    }
+    auto decoded = isa::decode(buf, got, 0, rip);
+    if (!decoded.ok()) {
+        return FaultKind::kInvalidInstr;
+    }
+    *out = decoded.take();
+    return FaultKind::kNone;
+}
+
+Cpu::Block *
+Cpu::lookup_block(uint64_t rip, CpuExit *exit)
+{
+    uint64_t gen = mem_->code_generation();
+    auto cached = block_cache_.find(rip);
+    if (cached != block_cache_.end()) {
+        if (cached->second.generation == gen) {
+            ++bb_hits_;
+            return &cached->second;
+        }
+        ++bb_invalidations_; // stale block: discarded lazily, rebuilt
+    }
+    ++bb_misses_;
+
+    Block block;
+    block.generation = gen;
+    block.instrs.reserve(8);
+    uint64_t pc = rip;
+    while (block.instrs.size() < kMaxBlockInstrs) {
+        Instruction instr;
+        FaultKind fk = decode_at(pc, &instr);
+        if (fk != FaultKind::kNone) {
+            if (block.instrs.empty()) {
+                // The entry instruction itself is unfetchable or
+                // undecodable: that is an architectural fault.
+                exit->kind = ExitKind::kFault;
+                exit->fault = fk;
+                exit->fault_addr = pc;
+                exit->rip = pc;
+                state_.rip = pc;
+                return nullptr;
+            }
+            // Decoding failed *ahead* of execution. End the block
+            // here; if control really reaches pc, the next lookup
+            // starts a block there and raises the fault.
+            break;
+        }
+        if (instr.op == Opcode::kCfiLabel && !block.instrs.empty()) {
+            break; // a cfi_label is an entry point: new block
+        }
+        block.instrs.push_back(instr);
+        if (ends_block(instr.op)) {
+            break;
+        }
+        pc = instr.end();
+    }
+    auto [pos, inserted] =
+        block_cache_.insert_or_assign(rip, std::move(block));
+    (void)inserted;
+    return &pos->second;
+}
+
 CpuExit
-Cpu::run_interpret(uint64_t max_instructions)
+Cpu::run_blocks(uint64_t max_instructions)
 {
     CpuExit exit;
-    auto fault = [&](FaultKind kind, uint64_t addr) {
-        exit.kind = ExitKind::kFault;
-        exit.fault = kind;
-        exit.fault_addr = addr;
-        exit.rip = state_.rip;
-        return exit;
-    };
+    uint64_t executed = 0;
+    Block *block = nullptr;
+    for (;;) {
+        if (executed >= max_instructions) {
+            exit.kind = ExitKind::kInstrBudget;
+            exit.rip = state_.rip;
+            return exit;
+        }
+        if (block == nullptr) {
+            block = lookup_block(state_.rip, &exit);
+            if (!block) {
+                return exit;
+            }
+        }
+        const Instruction *instrs = block->instrs.data();
+        const size_t n = block->instrs.size();
+        Block *next = nullptr;
+        size_t i = 0;
+        for (; i < n; ++i) {
+            const Instruction &instr = instrs[i];
+            if (executed >= max_instructions) {
+                state_.rip = instr.address;
+                exit.kind = ExitKind::kInstrBudget;
+                exit.rip = instr.address;
+                return exit;
+            }
+            ++executed;
+            Step step = execute(instr, &exit);
+            if (step == Step::kNext) {
+                continue;
+            }
+            if (step == Step::kExit) {
+                return exit;
+            }
+            if (step == Step::kTransfer) {
+                // execute stored the new rip. Chain through the
+                // inline successor cache when it resolves the target;
+                // validate against the *current* generation (a call's
+                // push may just have written an executable page).
+                uint64_t target = state_.rip;
+                uint64_t gen = mem_->code_generation();
+                for (int s = 0; s < 2; ++s) {
+                    Block *cand = block->succ[s];
+                    if (cand && block->succ_rip[s] == target &&
+                        cand->generation == gen) {
+                        next = cand;
+                        ++bb_hits_;
+                        break;
+                    }
+                }
+                if (!next) {
+                    next = lookup_block(target, &exit);
+                    if (!next) {
+                        return exit;
+                    }
+                    block->succ_rip[block->succ_victim] = target;
+                    block->succ[block->succ_victim] = next;
+                    block->succ_victim ^= 1;
+                }
+                break;
+            }
+            // Step::kMemWrite: the store may have hit an executable
+            // page (self-modifying code under a data_rwx layout). If
+            // the generation moved, this block's remaining decoded
+            // ops may be stale — resume through a fresh lookup.
+            if (mem_->code_generation() != block->generation) {
+                state_.rip = instr.end();
+                break; // next == nullptr: fresh lookup
+            }
+        }
+        if (i == n) {
+            // Fell off the end of a block that was cut short by a
+            // cfi_label boundary, the length cap, or a decode failure
+            // ahead: continue at the next sequential instruction.
+            state_.rip = instrs[n - 1].end();
+        }
+        block = next;
+    }
+}
 
+CpuExit
+Cpu::run_decode_loop(uint64_t max_instructions)
+{
+    CpuExit exit;
     for (uint64_t executed = 0; executed < max_instructions; ++executed) {
-        // ---- fetch + decode (with a generation-checked cache) --------
         uint64_t rip = state_.rip;
-        const Instruction *instr_ptr = nullptr;
-        auto cached = decode_cache_.find(rip);
-        if (cached != decode_cache_.end() &&
-            cached->second.generation == mem_->code_generation()) {
-            instr_ptr = &cached->second.instr;
-        } else {
-            uint8_t buf[16];
-            uint64_t got = 0;
-            while (got < sizeof(buf)) {
-                if (mem_->fetch(rip + got, buf + got, 1) !=
-                    AccessFault::kNone) {
-                    break;
-                }
-                ++got;
-            }
-            if (got == 0) {
-                return fault(FaultKind::kExecFault, rip);
-            }
-            auto decoded = isa::decode(buf, got, 0, rip);
-            if (!decoded.ok()) {
-                return fault(FaultKind::kInvalidInstr, rip);
-            }
-            DecodeEntry entry;
-            entry.instr = decoded.take();
-            entry.generation = mem_->code_generation();
-            instr_ptr =
-                &decode_cache_.insert_or_assign(rip, entry).first->second
-                     .instr;
-        }
-        const Instruction &instr = *instr_ptr;
-        uint64_t next_rip = instr.end();
-
-        cycles_ += isa::cycle_cost(instr);
-        ++instructions_;
-
-        auto &regs = state_.regs;
-
-        // ---- execute --------------------------------------------------
-        switch (instr.op) {
-          case Opcode::kNop:
-          case Opcode::kCfiLabel:
-          case Opcode::kLea:
-            if (instr.op == Opcode::kLea) {
-                regs[instr.reg1] =
-                    effective_address(instr.mem, next_rip);
-            }
-            break;
-
-          case Opcode::kHlt:
-          case Opcode::kEexit:
-          case Opcode::kEaccept:
-          case Opcode::kXrstor:
-          case Opcode::kWrfsbase:
-          case Opcode::kBndmk:
-          case Opcode::kBndmov:
-            exit.kind = ExitKind::kPrivileged;
-            exit.priv_op = instr.op;
+        Instruction instr;
+        FaultKind fk = decode_at(rip, &instr);
+        if (fk != FaultKind::kNone) {
+            exit.kind = ExitKind::kFault;
+            exit.fault = fk;
+            exit.fault_addr = rip;
             exit.rip = rip;
             return exit;
-
-          case Opcode::kLtrap:
-            state_.rip = next_rip;
-            exit.kind = ExitKind::kLtrap;
-            exit.rip = rip;
-            return exit;
-
-          case Opcode::kRdcycle:
-            regs[instr.reg1] = cycles_;
-            break;
-
-          case Opcode::kMovRI:
-            regs[instr.reg1] = static_cast<uint64_t>(instr.imm);
-            break;
-          case Opcode::kMovRR:
-            regs[instr.reg1] = regs[instr.reg2];
-            break;
-
-          case Opcode::kLoad:
-          case Opcode::kLoad8:
-          case Opcode::kLoad32:
-          case Opcode::kVGather: {
-            uint64_t addr = effective_address(instr.mem, next_rip);
-            uint64_t size = instr.op == Opcode::kLoad8 ? 1
-                          : instr.op == Opcode::kLoad32 ? 4 : 8;
-            uint64_t value = 0;
-            AccessFault f = mem_->read(addr, &value, size);
-            if (f != AccessFault::kNone) {
-                return fault(data_fault_kind(f), addr);
-            }
-            regs[instr.reg1] = value;
-            break;
-          }
-          case Opcode::kStore:
-          case Opcode::kStore8:
-          case Opcode::kStore32: {
-            uint64_t addr = effective_address(instr.mem, next_rip);
-            uint64_t size = instr.op == Opcode::kStore8 ? 1
-                          : instr.op == Opcode::kStore32 ? 4 : 8;
-            uint64_t value = regs[instr.reg1];
-            AccessFault f = mem_->write(addr, &value, size);
-            if (f != AccessFault::kNone) {
-                return fault(data_fault_kind(f), addr);
-            }
-            break;
-          }
-
-          case Opcode::kAddRR: regs[instr.reg1] += regs[instr.reg2]; break;
-          case Opcode::kAddRI: regs[instr.reg1] += instr.imm; break;
-          case Opcode::kSubRR: regs[instr.reg1] -= regs[instr.reg2]; break;
-          case Opcode::kSubRI: regs[instr.reg1] -= instr.imm; break;
-          case Opcode::kMulRR: regs[instr.reg1] *= regs[instr.reg2]; break;
-          case Opcode::kMulRI: regs[instr.reg1] *= instr.imm; break;
-          case Opcode::kDivRR:
-          case Opcode::kModRR: {
-            int64_t divisor = static_cast<int64_t>(regs[instr.reg2]);
-            if (divisor == 0) {
-                return fault(FaultKind::kDivide, rip);
-            }
-            int64_t dividend = static_cast<int64_t>(regs[instr.reg1]);
-            // INT64_MIN / -1 overflows on the host; define it as
-            // wrapping (the quotient is INT64_MIN again).
-            if (dividend == INT64_MIN && divisor == -1) {
-                regs[instr.reg1] =
-                    instr.op == Opcode::kDivRR
-                        ? static_cast<uint64_t>(INT64_MIN) : 0;
-            } else if (instr.op == Opcode::kDivRR) {
-                regs[instr.reg1] =
-                    static_cast<uint64_t>(dividend / divisor);
-            } else {
-                regs[instr.reg1] =
-                    static_cast<uint64_t>(dividend % divisor);
-            }
-            break;
-          }
-          case Opcode::kAndRR: regs[instr.reg1] &= regs[instr.reg2]; break;
-          case Opcode::kAndRI: regs[instr.reg1] &= instr.imm; break;
-          case Opcode::kOrRR: regs[instr.reg1] |= regs[instr.reg2]; break;
-          case Opcode::kOrRI: regs[instr.reg1] |= instr.imm; break;
-          case Opcode::kXorRR: regs[instr.reg1] ^= regs[instr.reg2]; break;
-          case Opcode::kXorRI: regs[instr.reg1] ^= instr.imm; break;
-          case Opcode::kShlRI:
-            regs[instr.reg1] <<= (instr.imm & 63);
-            break;
-          case Opcode::kShrRI:
-            regs[instr.reg1] >>= (instr.imm & 63);
-            break;
-          case Opcode::kSarRI:
-            regs[instr.reg1] = static_cast<uint64_t>(
-                static_cast<int64_t>(regs[instr.reg1]) >> (instr.imm & 63));
-            break;
-          case Opcode::kShlRR:
-            regs[instr.reg1] <<= (regs[instr.reg2] & 63);
-            break;
-          case Opcode::kShrRR:
-            regs[instr.reg1] >>= (regs[instr.reg2] & 63);
-            break;
-          case Opcode::kSarRR:
-            regs[instr.reg1] = static_cast<uint64_t>(
-                static_cast<int64_t>(regs[instr.reg1]) >>
-                (regs[instr.reg2] & 63));
-            break;
-          case Opcode::kNeg:
-            regs[instr.reg1] = 0 - regs[instr.reg1];
-            break;
-          case Opcode::kNot:
-            regs[instr.reg1] = ~regs[instr.reg1];
-            break;
-
-          case Opcode::kCmpRR:
-            set_cmp_flags(regs[instr.reg1], regs[instr.reg2]);
-            break;
-          case Opcode::kCmpRI:
-            set_cmp_flags(regs[instr.reg1],
-                          static_cast<uint64_t>(instr.imm));
-            break;
-          case Opcode::kTestRR: {
-            uint64_t r = regs[instr.reg1] & regs[instr.reg2];
-            state_.flags.zf = (r == 0);
-            state_.flags.sf = (static_cast<int64_t>(r) < 0);
-            state_.flags.cf = false;
-            state_.flags.of = false;
-            break;
-          }
-
-          case Opcode::kJmp:
-            next_rip = instr.direct_target();
-            break;
-          case Opcode::kJcc:
-            if (eval_cond(instr.cond)) {
-                next_rip = instr.direct_target();
-            }
-            break;
-          case Opcode::kCall:
-          case Opcode::kCallReg:
-          case Opcode::kCallMem: {
-            uint64_t target;
-            if (instr.op == Opcode::kCall) {
-                target = instr.direct_target();
-            } else if (instr.op == Opcode::kCallReg) {
-                target = regs[instr.reg1];
-            } else {
-                uint64_t addr = effective_address(instr.mem, next_rip);
-                AccessFault f = mem_->read(addr, &target, 8);
-                if (f != AccessFault::kNone) {
-                    return fault(data_fault_kind(f), addr);
-                }
-            }
-            uint64_t new_sp = regs[isa::kSp] - 8;
-            AccessFault f = mem_->write(new_sp, &next_rip, 8);
-            if (f != AccessFault::kNone) {
-                return fault(data_fault_kind(f), new_sp);
-            }
-            regs[isa::kSp] = new_sp;
-            next_rip = target;
-            break;
-          }
-          case Opcode::kJmpReg:
-            next_rip = regs[instr.reg1];
-            break;
-          case Opcode::kJmpMem: {
-            uint64_t addr = effective_address(instr.mem, next_rip);
-            uint64_t target;
-            AccessFault f = mem_->read(addr, &target, 8);
-            if (f != AccessFault::kNone) {
-                return fault(data_fault_kind(f), addr);
-            }
-            next_rip = target;
-            break;
-          }
-          case Opcode::kRet:
-          case Opcode::kRetImm: {
-            uint64_t target;
-            AccessFault f = mem_->read(regs[isa::kSp], &target, 8);
-            if (f != AccessFault::kNone) {
-                return fault(data_fault_kind(f), regs[isa::kSp]);
-            }
-            regs[isa::kSp] += 8 + static_cast<uint64_t>(instr.imm);
-            next_rip = target;
-            break;
-          }
-
-          case Opcode::kPush:
-          case Opcode::kPushImm: {
-            uint64_t value = instr.op == Opcode::kPush
-                                 ? regs[instr.reg1]
-                                 : static_cast<uint64_t>(instr.imm);
-            uint64_t new_sp = regs[isa::kSp] - 8;
-            AccessFault f = mem_->write(new_sp, &value, 8);
-            if (f != AccessFault::kNone) {
-                return fault(data_fault_kind(f), new_sp);
-            }
-            regs[isa::kSp] = new_sp;
-            break;
-          }
-          case Opcode::kPop: {
-            uint64_t value;
-            AccessFault f = mem_->read(regs[isa::kSp], &value, 8);
-            if (f != AccessFault::kNone) {
-                return fault(data_fault_kind(f), regs[isa::kSp]);
-            }
-            regs[isa::kSp] += 8;
-            regs[instr.reg1] = value;
-            break;
-          }
-
-          case Opcode::kBndclMem:
-          case Opcode::kBndcuMem: {
-            uint64_t addr = effective_address(instr.mem, next_rip);
-            const BoundReg &b = state_.bnds[instr.bnd];
-            bool violation = instr.op == Opcode::kBndclMem ? (addr < b.lo)
-                                                           : (addr > b.hi);
-            if (violation) {
-                return fault(FaultKind::kBoundRange, addr);
-            }
-            break;
-          }
-          case Opcode::kBndclReg:
-          case Opcode::kBndcuReg: {
-            uint64_t value = regs[instr.reg1];
-            const BoundReg &b = state_.bnds[instr.bnd];
-            bool violation = instr.op == Opcode::kBndclReg ? (value < b.lo)
-                                                           : (value > b.hi);
-            if (violation) {
-                return fault(FaultKind::kBoundRange, value);
-            }
-            break;
-          }
         }
-
-        state_.rip = next_rip;
+        Step step = execute(instr, &exit);
+        if (step == Step::kExit) {
+            return exit;
+        }
+        if (step != Step::kTransfer) {
+            state_.rip = instr.end();
+        }
     }
     exit.kind = ExitKind::kInstrBudget;
     exit.rip = state_.rip;
     return exit;
+}
+
+Cpu::Step
+Cpu::execute(const Instruction &instr, CpuExit *exit)
+{
+    uint64_t next_rip = instr.end();
+
+    cycles_ += isa::cycle_cost(instr);
+    ++instructions_;
+
+    auto &regs = state_.regs;
+
+    auto fault = [&](FaultKind kind, uint64_t addr) {
+        state_.rip = instr.address;
+        exit->kind = ExitKind::kFault;
+        exit->fault = kind;
+        exit->fault_addr = addr;
+        exit->rip = instr.address;
+        return Step::kExit;
+    };
+
+    switch (instr.op) {
+      case Opcode::kNop:
+      case Opcode::kCfiLabel:
+      case Opcode::kLea:
+        if (instr.op == Opcode::kLea) {
+            regs[instr.reg1] = effective_address(instr.mem, next_rip);
+        }
+        return Step::kNext;
+
+      case Opcode::kHlt:
+      case Opcode::kEexit:
+      case Opcode::kEaccept:
+      case Opcode::kXrstor:
+      case Opcode::kWrfsbase:
+      case Opcode::kBndmk:
+      case Opcode::kBndmov:
+        state_.rip = instr.address;
+        exit->kind = ExitKind::kPrivileged;
+        exit->priv_op = instr.op;
+        exit->rip = instr.address;
+        return Step::kExit;
+
+      case Opcode::kLtrap:
+        state_.rip = next_rip;
+        exit->kind = ExitKind::kLtrap;
+        exit->rip = instr.address;
+        return Step::kExit;
+
+      case Opcode::kRdcycle:
+        regs[instr.reg1] = cycles_;
+        return Step::kNext;
+
+      case Opcode::kMovRI:
+        regs[instr.reg1] = static_cast<uint64_t>(instr.imm);
+        return Step::kNext;
+      case Opcode::kMovRR:
+        regs[instr.reg1] = regs[instr.reg2];
+        return Step::kNext;
+
+      case Opcode::kLoad:
+      case Opcode::kLoad8:
+      case Opcode::kLoad32:
+      case Opcode::kVGather: {
+        uint64_t addr = effective_address(instr.mem, next_rip);
+        uint64_t size = instr.op == Opcode::kLoad8 ? 1
+                      : instr.op == Opcode::kLoad32 ? 4 : 8;
+        uint64_t value = 0;
+        AccessFault f = mem_->read(addr, &value, size);
+        if (f != AccessFault::kNone) {
+            return fault(data_fault_kind(f), addr);
+        }
+        regs[instr.reg1] = value;
+        return Step::kNext;
+      }
+      case Opcode::kStore:
+      case Opcode::kStore8:
+      case Opcode::kStore32: {
+        uint64_t addr = effective_address(instr.mem, next_rip);
+        uint64_t size = instr.op == Opcode::kStore8 ? 1
+                      : instr.op == Opcode::kStore32 ? 4 : 8;
+        uint64_t value = regs[instr.reg1];
+        AccessFault f = mem_->write(addr, &value, size);
+        if (f != AccessFault::kNone) {
+            return fault(data_fault_kind(f), addr);
+        }
+        return Step::kMemWrite;
+      }
+
+      case Opcode::kAddRR:
+        regs[instr.reg1] += regs[instr.reg2];
+        return Step::kNext;
+      case Opcode::kAddRI:
+        regs[instr.reg1] += instr.imm;
+        return Step::kNext;
+      case Opcode::kSubRR:
+        regs[instr.reg1] -= regs[instr.reg2];
+        return Step::kNext;
+      case Opcode::kSubRI:
+        regs[instr.reg1] -= instr.imm;
+        return Step::kNext;
+      case Opcode::kMulRR:
+        regs[instr.reg1] *= regs[instr.reg2];
+        return Step::kNext;
+      case Opcode::kMulRI:
+        regs[instr.reg1] *= instr.imm;
+        return Step::kNext;
+      case Opcode::kDivRR:
+      case Opcode::kModRR: {
+        int64_t divisor = static_cast<int64_t>(regs[instr.reg2]);
+        if (divisor == 0) {
+            return fault(FaultKind::kDivide, instr.address);
+        }
+        int64_t dividend = static_cast<int64_t>(regs[instr.reg1]);
+        // INT64_MIN / -1 overflows on the host; define it as
+        // wrapping (the quotient is INT64_MIN again).
+        if (dividend == INT64_MIN && divisor == -1) {
+            regs[instr.reg1] = instr.op == Opcode::kDivRR
+                                   ? static_cast<uint64_t>(INT64_MIN) : 0;
+        } else if (instr.op == Opcode::kDivRR) {
+            regs[instr.reg1] = static_cast<uint64_t>(dividend / divisor);
+        } else {
+            regs[instr.reg1] = static_cast<uint64_t>(dividend % divisor);
+        }
+        return Step::kNext;
+      }
+      case Opcode::kAndRR:
+        regs[instr.reg1] &= regs[instr.reg2];
+        return Step::kNext;
+      case Opcode::kAndRI:
+        regs[instr.reg1] &= instr.imm;
+        return Step::kNext;
+      case Opcode::kOrRR:
+        regs[instr.reg1] |= regs[instr.reg2];
+        return Step::kNext;
+      case Opcode::kOrRI:
+        regs[instr.reg1] |= instr.imm;
+        return Step::kNext;
+      case Opcode::kXorRR:
+        regs[instr.reg1] ^= regs[instr.reg2];
+        return Step::kNext;
+      case Opcode::kXorRI:
+        regs[instr.reg1] ^= instr.imm;
+        return Step::kNext;
+      case Opcode::kShlRI:
+        regs[instr.reg1] <<= (instr.imm & 63);
+        return Step::kNext;
+      case Opcode::kShrRI:
+        regs[instr.reg1] >>= (instr.imm & 63);
+        return Step::kNext;
+      case Opcode::kSarRI:
+        regs[instr.reg1] = static_cast<uint64_t>(
+            static_cast<int64_t>(regs[instr.reg1]) >> (instr.imm & 63));
+        return Step::kNext;
+      case Opcode::kShlRR:
+        regs[instr.reg1] <<= (regs[instr.reg2] & 63);
+        return Step::kNext;
+      case Opcode::kShrRR:
+        regs[instr.reg1] >>= (regs[instr.reg2] & 63);
+        return Step::kNext;
+      case Opcode::kSarRR:
+        regs[instr.reg1] = static_cast<uint64_t>(
+            static_cast<int64_t>(regs[instr.reg1]) >>
+            (regs[instr.reg2] & 63));
+        return Step::kNext;
+      case Opcode::kNeg:
+        regs[instr.reg1] = 0 - regs[instr.reg1];
+        return Step::kNext;
+      case Opcode::kNot:
+        regs[instr.reg1] = ~regs[instr.reg1];
+        return Step::kNext;
+
+      case Opcode::kCmpRR:
+        set_cmp_flags(regs[instr.reg1], regs[instr.reg2]);
+        return Step::kNext;
+      case Opcode::kCmpRI:
+        set_cmp_flags(regs[instr.reg1], static_cast<uint64_t>(instr.imm));
+        return Step::kNext;
+      case Opcode::kTestRR: {
+        uint64_t r = regs[instr.reg1] & regs[instr.reg2];
+        state_.flags.zf = (r == 0);
+        state_.flags.sf = (static_cast<int64_t>(r) < 0);
+        state_.flags.cf = false;
+        state_.flags.of = false;
+        return Step::kNext;
+      }
+
+      case Opcode::kJmp:
+        state_.rip = instr.direct_target();
+        return Step::kTransfer;
+      case Opcode::kJcc:
+        state_.rip = eval_cond(instr.cond) ? instr.direct_target()
+                                           : next_rip;
+        return Step::kTransfer;
+      case Opcode::kCall:
+      case Opcode::kCallReg:
+      case Opcode::kCallMem: {
+        uint64_t target;
+        if (instr.op == Opcode::kCall) {
+            target = instr.direct_target();
+        } else if (instr.op == Opcode::kCallReg) {
+            target = regs[instr.reg1];
+        } else {
+            uint64_t addr = effective_address(instr.mem, next_rip);
+            AccessFault f = mem_->read(addr, &target, 8);
+            if (f != AccessFault::kNone) {
+                return fault(data_fault_kind(f), addr);
+            }
+        }
+        uint64_t new_sp = regs[isa::kSp] - 8;
+        AccessFault f = mem_->write(new_sp, &next_rip, 8);
+        if (f != AccessFault::kNone) {
+            return fault(data_fault_kind(f), new_sp);
+        }
+        regs[isa::kSp] = new_sp;
+        state_.rip = target;
+        return Step::kTransfer;
+      }
+      case Opcode::kJmpReg:
+        state_.rip = regs[instr.reg1];
+        return Step::kTransfer;
+      case Opcode::kJmpMem: {
+        uint64_t addr = effective_address(instr.mem, next_rip);
+        uint64_t target;
+        AccessFault f = mem_->read(addr, &target, 8);
+        if (f != AccessFault::kNone) {
+            return fault(data_fault_kind(f), addr);
+        }
+        state_.rip = target;
+        return Step::kTransfer;
+      }
+      case Opcode::kRet:
+      case Opcode::kRetImm: {
+        uint64_t target;
+        AccessFault f = mem_->read(regs[isa::kSp], &target, 8);
+        if (f != AccessFault::kNone) {
+            return fault(data_fault_kind(f), regs[isa::kSp]);
+        }
+        regs[isa::kSp] += 8 + static_cast<uint64_t>(instr.imm);
+        state_.rip = target;
+        return Step::kTransfer;
+      }
+
+      case Opcode::kPush:
+      case Opcode::kPushImm: {
+        uint64_t value = instr.op == Opcode::kPush
+                             ? regs[instr.reg1]
+                             : static_cast<uint64_t>(instr.imm);
+        uint64_t new_sp = regs[isa::kSp] - 8;
+        AccessFault f = mem_->write(new_sp, &value, 8);
+        if (f != AccessFault::kNone) {
+            return fault(data_fault_kind(f), new_sp);
+        }
+        regs[isa::kSp] = new_sp;
+        return Step::kMemWrite;
+      }
+      case Opcode::kPop: {
+        uint64_t value;
+        AccessFault f = mem_->read(regs[isa::kSp], &value, 8);
+        if (f != AccessFault::kNone) {
+            return fault(data_fault_kind(f), regs[isa::kSp]);
+        }
+        regs[isa::kSp] += 8;
+        regs[instr.reg1] = value;
+        return Step::kNext;
+      }
+
+      case Opcode::kBndclMem:
+      case Opcode::kBndcuMem: {
+        uint64_t addr = effective_address(instr.mem, next_rip);
+        const BoundReg &b = state_.bnds[instr.bnd];
+        bool violation = instr.op == Opcode::kBndclMem ? (addr < b.lo)
+                                                       : (addr > b.hi);
+        if (violation) {
+            return fault(FaultKind::kBoundRange, addr);
+        }
+        return Step::kNext;
+      }
+      case Opcode::kBndclReg:
+      case Opcode::kBndcuReg: {
+        uint64_t value = regs[instr.reg1];
+        const BoundReg &b = state_.bnds[instr.bnd];
+        bool violation = instr.op == Opcode::kBndclReg ? (value < b.lo)
+                                                       : (value > b.hi);
+        if (violation) {
+            return fault(FaultKind::kBoundRange, value);
+        }
+        return Step::kNext;
+      }
+    }
+    OCC_PANIC("unhandled opcode");
 }
 
 } // namespace occlum::vm

@@ -8,6 +8,20 @@
  * bound registers, which real SGX saves/restores through the SSA on
  * AEX (paper §2.1/§2.3) — can be snapshotted and restored, which is
  * how the scheduler context-switches SIPs.
+ *
+ * Dispatch uses a predecoded basic-block cache: the first execution
+ * at an entry rip decodes a straight-line run of instructions (ending
+ * at a control transfer, a dangerous/ltrap instruction, or the next
+ * cfi_label) into a flat array; later executions replay the array in
+ * a tight indexed loop. Blocks are keyed by their entry rip, so a
+ * jump into the middle of a variable-length instruction builds its
+ * own, differently-decoded block — the overlapping-instruction
+ * semantics that make the disassembly problem real are preserved.
+ * Blocks are invalidated by the AddressSpace generation counter,
+ * which now advances automatically on writes to executable pages and
+ * on mapping-permission changes involving X. Cycle accounting is
+ * identical with the cache on or off: the same per-instruction
+ * isa::cycle_cost is charged by the shared execute step.
  */
 #ifndef OCCLUM_VM_CPU_H
 #define OCCLUM_VM_CPU_H
@@ -15,6 +29,7 @@
 #include <array>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "isa/isa.h"
 #include "vm/address_space.h"
@@ -74,7 +89,9 @@ struct CpuState {
 class Cpu
 {
   public:
-    explicit Cpu(AddressSpace &mem) : mem_(&mem) {}
+    explicit Cpu(AddressSpace &mem)
+        : mem_(&mem), block_cache_enabled_(default_block_cache_enabled())
+    {}
 
     // ---- state access ------------------------------------------------
     uint64_t reg(int i) const { return state_.regs[i]; }
@@ -96,6 +113,26 @@ class Cpu
 
     AddressSpace &mem() { return *mem_; }
 
+    // ---- block-cache control -----------------------------------------
+    /** Enable/disable the basic-block cache (drops cached blocks). */
+    void set_block_cache_enabled(bool on);
+    bool block_cache_enabled() const { return block_cache_enabled_; }
+
+    /**
+     * Default for newly constructed Cpus. The ablation bench flips
+     * this to run whole workloads in decode-every-time mode without
+     * threading a flag through every personality.
+     */
+    static void set_default_block_cache_enabled(bool on);
+    static bool default_block_cache_enabled();
+
+    /** Block-cache statistics (per-Cpu; also mirrored in the trace
+     *  registry as vm.block_cache.{hits,misses,invalidations}). */
+    uint64_t block_cache_hits() const { return bb_hits_; }
+    uint64_t block_cache_misses() const { return bb_misses_; }
+    uint64_t block_cache_invalidations() const { return bb_invalidations_; }
+    size_t block_cache_blocks() const { return block_cache_.size(); }
+
     // ---- execution -----------------------------------------------------
     /**
      * Execute up to `max_instructions`. Returns the reason for
@@ -106,13 +143,44 @@ class Cpu
     CpuExit run(uint64_t max_instructions);
 
   private:
-    /** The interpreter loop proper; run() wraps it with metrics. */
-    CpuExit run_interpret(uint64_t max_instructions);
-
-    struct DecodeEntry {
-        isa::Instruction instr;
+    /** A predecoded straight-line run, keyed by its entry rip. */
+    struct Block {
+        std::vector<isa::Instruction> instrs;
         uint64_t generation = ~0ull;
+        /**
+         * Inline successor cache ("block linking"): the last two
+         * transfer targets taken out of this block, so the common
+         * jump/branch chains to its target block without a hash
+         * lookup. Entries are validated against the current code
+         * generation before use; map nodes are never erased (only
+         * replaced in place or cleared wholesale), so the pointers
+         * stay valid as long as the cache itself lives.
+         */
+        std::array<uint64_t, 2> succ_rip{};
+        std::array<Block *, 2> succ{};
+        uint8_t succ_victim = 0;
     };
+
+    /** What the shared execute step did with control flow. */
+    enum class Step {
+        kNext,     // fell through; rip not yet advanced by execute
+        kMemWrite, // fell through after writing memory (recheck code)
+        kTransfer, // control transfer; execute stored the new rip
+        kExit,     // run() must return `exit`
+    };
+
+    /** Block-cached interpreter loop; run() wraps it with metrics. */
+    CpuExit run_blocks(uint64_t max_instructions);
+    /** Decode-every-time loop (cache off; the ablation baseline). */
+    CpuExit run_decode_loop(uint64_t max_instructions);
+
+    /** Fetch + decode one instruction; kNone on success. */
+    FaultKind decode_at(uint64_t rip, isa::Instruction *out);
+    /** Find or build the block entered at rip; nullptr = fault in
+     *  the *first* instruction, with `exit` filled in. */
+    Block *lookup_block(uint64_t rip, CpuExit *exit);
+    /** Charge cycles and execute one decoded instruction. */
+    Step execute(const isa::Instruction &instr, CpuExit *exit);
 
     /** Effective address of a memory operand (rip-relative uses end). */
     uint64_t effective_address(const isa::MemOperand &mem,
@@ -125,7 +193,11 @@ class Cpu
     CpuState state_;
     uint64_t cycles_ = 0;
     uint64_t instructions_ = 0;
-    std::unordered_map<uint64_t, DecodeEntry> decode_cache_;
+    std::unordered_map<uint64_t, Block> block_cache_;
+    bool block_cache_enabled_;
+    uint64_t bb_hits_ = 0;
+    uint64_t bb_misses_ = 0;
+    uint64_t bb_invalidations_ = 0;
 };
 
 } // namespace occlum::vm

@@ -286,5 +286,149 @@ TEST(Syscalls, FaultingProcessIsReapedWithFaultCause)
     EXPECT_EQ(record.value().fault_addr, 0x12345u);
 }
 
+TEST(Syscalls, ClosedFdsAreReusedLowestFirst)
+{
+    KernelHarness h;
+    h.files.put("/f.txt", Bytes{});
+    EXPECT_EQ(h.run(R"(
+global byte p[12] = "/f.txt";
+func main() {
+    var first = open(p, 0);
+    if (first < 0) { return 1; }
+    close(first);
+    var i = 0;
+    while (i < 10000) {
+        var fd = open(p, 0);
+        if (fd != first) { return 2; }  // must reuse the lowest free fd
+        if (close(fd) != 0) { return 3; }
+        i = i + 1;
+    }
+    return 0;
+}
+)"),
+              0);
+}
+
+TEST(Syscalls, PipeFillsLowestFreeDescriptors)
+{
+    KernelHarness h;
+    EXPECT_EQ(h.run(R"(
+func main() {
+    close(0);                       // free stdin; 1 and 2 stay busy
+    var fds[2];
+    if (pipe(fds) != 0) { return 1; }
+    if (fds[0] != 0) { return 2; }  // lowest hole first...
+    if (fds[1] != 3) { return 3; }  // ...then the next one up
+    return 0;
+}
+)"),
+              0);
+}
+
+TEST(Syscalls, SixthSyscallArgumentArrivesIntact)
+{
+    KernelHarness h;
+    EXPECT_EQ(h.run(R"(
+func main() {
+    // mmap(addr, len, prot, flags, fd, off): off rides in the sixth
+    // argument register. A misaligned offset must reach the kernel
+    // and be rejected; if arg 6 were dropped it would read as 0.
+    if (syscall(12, 0, 4096, 3, 34, 0 - 1, 4097) != -22) { return 1; }
+    // Aligned-but-nonzero offsets on anonymous maps are unsupported.
+    if (syscall(12, 0, 4096, 3, 34, 0 - 1, 4096) != -38) { return 2; }
+    // File-backed requests are routed on the fd in arg 5.
+    if (syscall(12, 0, 4096, 3, 34, 7, 0) != -38) { return 3; }
+    // The same call with fd = -1, off = 0 succeeds and is usable.
+    var p = syscall(12, 0, 4096, 3, 34, 0 - 1, 0);
+    if (p < 0) { return 4; }
+    wstore(p, 4242);
+    if (wload(p) != 4242) { return 5; }
+    // Executable requests violate W^X.
+    if (syscall(12, 0, 4096, 7, 34, 0 - 1, 0) != -1) { return 6; }
+    return 0;
+}
+)"),
+              0);
+}
+
+// ---- idle and wake-up accounting --------------------------------------
+
+TEST(Kernel, AllowIdleReturnsWhenEveryProcessSleepsForever)
+{
+    KernelHarness h;
+    auto out = toolchain::compile(R"(
+func main() {
+    var fds[2];
+    pipe(fds);
+    var b[8];
+    read(fds[0], b, 1);   // we hold the write end: blocks forever
+    return 0;
+}
+)");
+    ASSERT_TRUE(out.ok());
+    h.files.put("prog", out.value().image.serialize());
+    auto pid = h.sys.spawn("prog", {"prog"});
+    ASSERT_TRUE(pid.ok());
+    // Every process is asleep with no wake-up time: run(allow_idle)
+    // must return instead of spinning or panicking on deadlock.
+    h.sys.run(/*allow_idle=*/true);
+    EXPECT_FALSE(h.sys.all_exited());
+    const Process *proc = h.sys.find_process(pid.value());
+    ASSERT_NE(proc, nullptr);
+    EXPECT_EQ(proc->state, ProcState::kBlocked);
+    EXPECT_EQ(h.sys.next_wake_time(), ~0ull);
+}
+
+TEST(Kernel, NextWakeTimeIsInfiniteWithZeroRunnableProcesses)
+{
+    KernelHarness h;
+    // No processes at all.
+    EXPECT_EQ(h.sys.next_wake_time(), ~0ull);
+    h.sys.run(/*allow_idle=*/true); // returns immediately, no panic
+    EXPECT_TRUE(h.sys.all_exited());
+    // After every process has exited there is nothing to wake either.
+    EXPECT_EQ(h.run("func main() { return 0; }"), 0);
+    EXPECT_TRUE(h.sys.all_exited());
+    EXPECT_EQ(h.sys.next_wake_time(), ~0ull);
+}
+
+TEST(Kernel, RunAdvancesClockPastFiniteSleeps)
+{
+    // One process that must wait on simulated network latency twice:
+    // once for its own connection to arrive at the listener, once for
+    // the payload. With nothing else runnable the kernel has to jump
+    // the clock to next_wake_time() for the program to finish at all.
+    SimClock clock;
+    host::HostFileStore files;
+    host::NetSim net(clock);
+    baseline::LinuxSystem sys(clock, files, &net);
+    auto out = toolchain::compile(R"(
+global byte msg[8] = "hello";
+global byte buf[16];
+func main() {
+    var l = sock_listen(9, 4);
+    if (l < 0) { return 1; }
+    var c = sock_connect(9);
+    if (c < 0) { return 2; }
+    var s = sock_accept(l);         // sleeps until the SYN arrives
+    if (s < 0) { return 3; }
+    if (sock_send(c, msg, 5) != 5) { return 4; }
+    var n = sock_recv(s, buf, 16);  // sleeps until the payload lands
+    if (n != 5) { return 5; }
+    return 0;
+}
+)");
+    ASSERT_TRUE(out.ok());
+    files.put("prog", out.value().image.serialize());
+    auto pid = sys.spawn("prog", {"prog"});
+    ASSERT_TRUE(pid.ok());
+    uint64_t before = clock.cycles();
+    sys.run();
+    auto code = sys.exit_code(pid.value());
+    ASSERT_TRUE(code.ok());
+    EXPECT_EQ(code.value(), 0);
+    EXPECT_GT(clock.cycles(), before);
+}
+
 } // namespace
 } // namespace occlum::oskit

@@ -77,6 +77,41 @@ TEST(Enclave, Sgx1FreezesPagesAfterInit)
     EXPECT_FALSE(enclave.init().ok()); // double EINIT
 }
 
+TEST(Enclave, PagePermissionChangesInvalidateCodeCaches)
+{
+    // The VM's predecoded block cache keys its validity off the
+    // address space's code generation; every enclave path that can
+    // change what is executable must advance it.
+    Platform platform;
+    Enclave enclave(platform, kBase, 1 << 20);
+    uint64_t gen = enclave.mem().code_generation();
+
+    // EADD of an executable page (maps + writes content).
+    Bytes content(vm::kPageSize, 0x90);
+    ASSERT_TRUE(
+        enclave.add_pages(kBase, vm::kPageSize, vm::kPermRX, content)
+            .ok());
+    EXPECT_GT(enclave.mem().code_generation(), gen);
+    gen = enclave.mem().code_generation();
+
+    // runtime_protect flipping X off and on (pre-EINIT EMODPE model).
+    ASSERT_TRUE(
+        enclave.runtime_protect(kBase, vm::kPageSize, vm::kPermRW).ok());
+    EXPECT_GT(enclave.mem().code_generation(), gen);
+    gen = enclave.mem().code_generation();
+    ASSERT_TRUE(
+        enclave.runtime_protect(kBase, vm::kPageSize, vm::kPermRX).ok());
+    EXPECT_GT(enclave.mem().code_generation(), gen);
+    gen = enclave.mem().code_generation();
+
+    // Adding and touching data-only pages leaves code caches alone.
+    ASSERT_TRUE(enclave
+                    .add_pages(kBase + vm::kPageSize, vm::kPageSize,
+                               vm::kPermRW)
+                    .ok());
+    EXPECT_EQ(enclave.mem().code_generation(), gen);
+}
+
 TEST(Enclave, RejectsOutOfRangeAndUnalignedAdds)
 {
     Platform platform;

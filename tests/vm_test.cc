@@ -441,5 +441,246 @@ TEST(Cpu, JumpIntoMiddleOfInstructionDecodesDifferently)
     EXPECT_EQ(h.cpu.instructions(), 9u);    // 8 nops + ltrap
 }
 
+// ---- predecoded basic-block cache -------------------------------------
+
+/** Encoded length of one instruction (encodings are fixed per op). */
+template <typename EmitFn>
+size_t
+encoded_len(EmitFn emit)
+{
+    isa::Assembler a(0);
+    emit(a);
+    return a.finish().size();
+}
+
+TEST(BlockCache, HitsAccumulateAcrossLoopIterations)
+{
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(1, 0);
+    a.mov_ri(2, 100);
+    a.bind("loop");
+    a.add_ri(1, 1);
+    a.sub_ri(2, 1);
+    a.cmp_ri(2, 0);
+    a.jcc(Cond::kNe, "loop");
+    a.ltrap();
+    CpuExit exit = h.run(a);
+    EXPECT_EQ(exit.kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.reg(1), 100u);
+    // The loop body re-enters the same block ~99 times; only a
+    // handful of distinct entry rips ever need decoding.
+    EXPECT_GT(h.cpu.block_cache_hits(), 90u);
+    EXPECT_LT(h.cpu.block_cache_misses(), 10u);
+    EXPECT_EQ(h.cpu.block_cache_invalidations(), 0u);
+}
+
+TEST(BlockCache, WriteToCodePageInvalidatesWithoutTouchCode)
+{
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(1, 1);
+    a.ltrap();
+    EXPECT_EQ(h.run(a).kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.reg(1), 1u);
+
+    // Rewrite the code bytes *without* calling touch_code: the write
+    // into an executable page must advance the generation by itself.
+    isa::Assembler b(kCode);
+    b.mov_ri(1, 2);
+    b.ltrap();
+    Bytes code = b.finish();
+    uint64_t gen_before = h.space.code_generation();
+    ASSERT_EQ(h.space.write_raw(kCode, code.data(), code.size()),
+              AccessFault::kNone);
+    EXPECT_GT(h.space.code_generation(), gen_before);
+
+    h.cpu.set_rip(kCode);
+    EXPECT_EQ(h.cpu.run(100).kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.reg(1), 2u);
+    EXPECT_GE(h.cpu.block_cache_invalidations(), 1u);
+}
+
+TEST(BlockCache, PermissionChangesInvolvingExecBumpGeneration)
+{
+    AddressSpace space;
+    ASSERT_TRUE(space.map(0x1000, 0x1000, kPermRX).ok());
+    ASSERT_TRUE(space.map(0x2000, 0x1000, kPermRW).ok());
+    uint64_t gen = space.code_generation();
+
+    // RW-only traffic leaves code caches alone.
+    ASSERT_TRUE(space.protect(0x2000, 0x1000, kPermR).ok());
+    uint32_t v = 7;
+    ASSERT_TRUE(space.protect(0x2000, 0x1000, kPermRW).ok());
+    ASSERT_EQ(space.write(0x2000, &v, sizeof(v)), AccessFault::kNone);
+    EXPECT_EQ(space.code_generation(), gen);
+
+    // Dropping X (the SGX runtime_protect path) invalidates.
+    ASSERT_TRUE(space.protect(0x1000, 0x1000, kPermR).ok());
+    EXPECT_GT(space.code_generation(), gen);
+    gen = space.code_generation();
+
+    // Regaining X invalidates again.
+    ASSERT_TRUE(space.protect(0x1000, 0x1000, kPermRX).ok());
+    EXPECT_GT(space.code_generation(), gen);
+    gen = space.code_generation();
+
+    // Mapping and unmapping executable pages both invalidate (new
+    // pages can complete previously truncated instruction fetches).
+    ASSERT_TRUE(space.map(0x3000, 0x1000, kPermRX).ok());
+    EXPECT_GT(space.code_generation(), gen);
+    gen = space.code_generation();
+    space.unmap(0x3000, 0x1000);
+    EXPECT_GT(space.code_generation(), gen);
+    gen = space.code_generation();
+    ASSERT_TRUE(space.map(0x4000, 0x1000, kPermRW).ok());
+    space.unmap(0x4000, 0x1000);
+    EXPECT_EQ(space.code_generation(), gen);
+}
+
+TEST(BlockCache, SelfModifyingStoreTakesEffectMidBlock)
+{
+    // A store that patches the immediate of a *later* instruction in
+    // the same straight-line run: the interpreter must notice the
+    // generation bump mid-block and re-decode instead of replaying
+    // the stale predecoded op.
+    VmHarness h;
+    ASSERT_TRUE(h.space.protect(kCode, 0x1000, kPermRWX).ok());
+
+    size_t mov_len =
+        encoded_len([](isa::Assembler &a) { a.mov_ri(2, 0x41); });
+    size_t store_len = encoded_len(
+        [](isa::Assembler &a) { a.store8(mem_bd(3, 0), 2); });
+    // Layout: mov r2 | mov r3 | store8 | mov r1, 0 | ltrap.
+    // The patch target is the first immediate byte of `mov r1, 0`.
+    uint64_t patch_addr = kCode + 2 * mov_len + store_len + 2;
+
+    isa::Assembler a(kCode);
+    a.mov_ri(2, 0x41);
+    a.mov_ri(3, static_cast<int64_t>(patch_addr));
+    a.store8(mem_bd(3, 0), 2);
+    a.mov_ri(1, 0); // immediate patched to 0x41 by the store above
+    a.ltrap();
+    CpuExit exit = h.run(a);
+    EXPECT_EQ(exit.kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.reg(1), 0x41u);
+}
+
+TEST(BlockCache, OffModeIsBitIdenticalInCyclesAndState)
+{
+    auto program = [](isa::Assembler &a) {
+        a.mov_ri(1, 0);
+        a.mov_ri(2, 50);
+        a.bind("loop");
+        a.store(mem_abs(kData), 1);
+        a.load(3, mem_abs(kData));
+        a.add_rr(1, 3);
+        a.push(1);
+        a.pop(4);
+        a.sub_ri(2, 1);
+        a.cmp_ri(2, 0);
+        a.jcc(Cond::kNe, "loop");
+        a.ltrap();
+    };
+    VmHarness on;
+    VmHarness off;
+    off.cpu.set_block_cache_enabled(false);
+    ASSERT_TRUE(on.cpu.block_cache_enabled());
+    ASSERT_FALSE(off.cpu.block_cache_enabled());
+
+    isa::Assembler a1(kCode);
+    program(a1);
+    CpuExit e1 = on.run(a1);
+    isa::Assembler a2(kCode);
+    program(a2);
+    CpuExit e2 = off.run(a2);
+
+    EXPECT_EQ(e1.kind, e2.kind);
+    EXPECT_EQ(on.cpu.cycles(), off.cpu.cycles());
+    EXPECT_EQ(on.cpu.instructions(), off.cpu.instructions());
+    EXPECT_EQ(on.cpu.rip(), off.cpu.rip());
+    for (int r = 0; r < isa::kNumRegs; ++r) {
+        EXPECT_EQ(on.cpu.reg(r), off.cpu.reg(r)) << "reg " << r;
+    }
+    EXPECT_EQ(off.cpu.block_cache_hits(), 0u);
+    EXPECT_EQ(off.cpu.block_cache_misses(), 0u);
+}
+
+TEST(BlockCache, InstructionBudgetStopsMidBlockAndResumes)
+{
+    VmHarness h;
+    size_t nop_len = encoded_len([](isa::Assembler &a) { a.nop(); });
+    isa::Assembler a(kCode);
+    for (int i = 0; i < 10; ++i) {
+        a.nop();
+    }
+    a.ltrap();
+    CpuExit exit = h.run(a, 4);
+    EXPECT_EQ(exit.kind, ExitKind::kInstrBudget);
+    EXPECT_EQ(h.cpu.instructions(), 4u);
+    EXPECT_EQ(h.cpu.rip(), kCode + 4 * nop_len);
+    // Resuming mid-block re-enters at rip and finishes the run.
+    exit = h.cpu.run(1000);
+    EXPECT_EQ(exit.kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.instructions(), 11u);
+}
+
+TEST(BlockCache, EntryPointKeyedBlocksPreserveOverlappingDecode)
+{
+    // Same bytes, two entry points (the JumpIntoMiddle scenario), now
+    // exercised repeatedly so both decodings live in the cache at
+    // once. Blocks are keyed by entry rip, so neither view clobbers
+    // the other.
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(1, 0); // bytes 2..9 are eight nops when entered at +2
+    a.ltrap();
+    Bytes code = a.finish();
+    ASSERT_EQ(h.space.write_raw(kCode, code.data(), code.size()),
+              AccessFault::kNone);
+
+    auto run_from = [&](uint64_t rip) {
+        uint64_t before = h.cpu.instructions();
+        h.cpu.set_rip(rip);
+        CpuExit exit = h.cpu.run(100);
+        EXPECT_EQ(exit.kind, ExitKind::kLtrap);
+        return h.cpu.instructions() - before;
+    };
+    EXPECT_EQ(run_from(kCode), 2u);     // mov + ltrap
+    EXPECT_EQ(run_from(kCode + 2), 9u); // 8 nops + ltrap
+    EXPECT_EQ(run_from(kCode), 2u);     // cached, still the mov view
+    EXPECT_EQ(run_from(kCode + 2), 9u);
+    EXPECT_EQ(h.cpu.block_cache_invalidations(), 0u);
+    EXPECT_GE(h.cpu.block_cache_hits(), 2u);
+}
+
+TEST(BlockCache, CfiLabelStartsANewBlock)
+{
+    // A cfi_label mid-stream ends the preceding block (it is a
+    // potential indirect-entry point); entered directly it simply
+    // begins its own block.
+    VmHarness h;
+    size_t mov_len =
+        encoded_len([](isa::Assembler &a) { a.mov_ri(1, 5); });
+    isa::Assembler a(kCode);
+    a.mov_ri(1, 5);
+    a.cfi_label(3);
+    a.mov_ri(2, 7);
+    a.ltrap();
+    CpuExit exit = h.run(a);
+    EXPECT_EQ(exit.kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.reg(1), 5u);
+    EXPECT_EQ(h.cpu.reg(2), 7u);
+    // Straight-line execution still crossed a block boundary.
+    EXPECT_EQ(h.cpu.block_cache_misses(), 2u);
+
+    // Entering at the label replays only the second block.
+    uint64_t before = h.cpu.instructions();
+    h.cpu.set_rip(kCode + mov_len);
+    EXPECT_EQ(h.cpu.run(100).kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.instructions() - before, 3u); // cfi, mov, ltrap
+    EXPECT_EQ(h.cpu.block_cache_misses(), 2u);    // no new decode
+}
+
 } // namespace
 } // namespace occlum::vm
