@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI job: smoke-test the benchmark recording pipeline. Runs the
+# cheapest figure bench through scripts/bench_record.sh and checks
+# that a snapshot with machine-readable JSON came out, so bench or
+# script rot is caught on every push rather than at paper-figure
+# time. The full (slow) suite is recorded manually via
+# scripts/bench_record.sh.
+#
+# Usage: scripts/ci_bench_smoke.sh [build-dir]   (default: build-bench)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-bench}"
+LABEL="ci-smoke"
+
+BENCH_FILTER='bench_fig6cd_file_io' \
+    scripts/bench_record.sh "$BUILD_DIR" "$LABEL"
+
+OUT_DIR="bench/results/$LABEL"
+JSON="$OUT_DIR/BENCH_fig6cd_file_io.json"
+if [ ! -s "$JSON" ]; then
+    echo "smoke failed: $JSON missing or empty" >&2
+    exit 1
+fi
+grep -q '"rows"\|"name"' "$JSON" ||
+    { echo "smoke failed: $JSON has no report payload" >&2; exit 1; }
+
+# The smoke snapshot is a CI artifact, not a recorded result.
+rm -rf "$OUT_DIR"
+echo "bench smoke OK"

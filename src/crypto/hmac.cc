@@ -4,6 +4,80 @@
 
 namespace occlum::crypto {
 
+namespace {
+
+bool g_midstate_enabled = true;
+
+} // namespace
+
+void
+HmacKey::set_midstate_enabled(bool enabled)
+{
+    g_midstate_enabled = enabled;
+}
+
+bool
+HmacKey::midstate_enabled()
+{
+    return g_midstate_enabled;
+}
+
+HmacKey::HmacKey(const uint8_t *key, size_t key_len)
+{
+    uint8_t key_block[64] = {0};
+    if (key_len > 64) {
+        Sha256Digest kd = Sha256::digest(key, key_len);
+        std::memcpy(key_block, kd.data(), kd.size());
+    } else if (key_len > 0) {
+        std::memcpy(key_block, key, key_len);
+    }
+    for (int i = 0; i < 64; ++i) {
+        ipad_block_[i] = key_block[i] ^ 0x36;
+        opad_block_[i] = key_block[i] ^ 0x5c;
+    }
+    // One compression each; mac()/begin()/finish() resume from here.
+    Sha256 h;
+    h.update(ipad_block_, 64);
+    inner_ = h.midstate();
+    h.reset();
+    h.update(opad_block_, 64);
+    outer_ = h.midstate();
+}
+
+Sha256
+HmacKey::begin() const
+{
+    Sha256 h;
+    if (g_midstate_enabled) {
+        h.resume(inner_);
+    } else {
+        h.update(ipad_block_, 64);
+    }
+    return h;
+}
+
+Sha256Digest
+HmacKey::finish(Sha256 &inner) const
+{
+    Sha256Digest inner_digest = inner.finish();
+    Sha256 outer;
+    if (g_midstate_enabled) {
+        outer.resume(outer_);
+    } else {
+        outer.update(opad_block_, 64);
+    }
+    outer.update(inner_digest.data(), inner_digest.size());
+    return outer.finish();
+}
+
+Sha256Digest
+HmacKey::mac(const uint8_t *data, size_t len) const
+{
+    Sha256 inner = begin();
+    inner.update(data, len);
+    return finish(inner);
+}
+
 Sha256Digest
 hmac_sha256(const uint8_t *key, size_t key_len, const uint8_t *data,
             size_t data_len)

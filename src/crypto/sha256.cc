@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "base/log.h"
+
 namespace occlum::crypto {
 
 namespace {
@@ -31,6 +33,30 @@ rotr(uint32_t x, int n)
     return (x >> n) | (x << (32 - n));
 }
 
+inline uint32_t
+big_sigma0(uint32_t x)
+{
+    return rotr(x, 2) ^ rotr(x, 13) ^ rotr(x, 22);
+}
+
+inline uint32_t
+big_sigma1(uint32_t x)
+{
+    return rotr(x, 6) ^ rotr(x, 11) ^ rotr(x, 25);
+}
+
+inline uint32_t
+small_sigma0(uint32_t x)
+{
+    return rotr(x, 7) ^ rotr(x, 18) ^ (x >> 3);
+}
+
+inline uint32_t
+small_sigma1(uint32_t x)
+{
+    return rotr(x, 17) ^ rotr(x, 19) ^ (x >> 10);
+}
+
 } // namespace
 
 void
@@ -48,6 +74,39 @@ Sha256::reset()
     total_len_ = 0;
 }
 
+Sha256Midstate
+Sha256::midstate() const
+{
+    OCC_CHECK_MSG(buffered_ == 0,
+                  "midstate only exists on a 64-byte block boundary");
+    Sha256Midstate m;
+    for (int i = 0; i < 8; ++i) {
+        m.state[i] = state_[i];
+    }
+    m.total_len = total_len_;
+    return m;
+}
+
+void
+Sha256::resume(const Sha256Midstate &m)
+{
+    for (int i = 0; i < 8; ++i) {
+        state_[i] = m.state[i];
+    }
+    buffered_ = 0;
+    total_len_ = m.total_len;
+}
+
+const Sha256Midstate &
+Sha256::initial_midstate()
+{
+    static const Sha256Midstate m = [] {
+        Sha256 h;
+        return h.midstate();
+    }();
+    return m;
+}
+
 void
 Sha256::compress(const uint8_t block[64])
 {
@@ -58,33 +117,39 @@ Sha256::compress(const uint8_t block[64])
                (uint32_t(block[4 * i + 2]) << 8) |
                uint32_t(block[4 * i + 3]);
     }
-    for (int i = 16; i < 64; ++i) {
-        uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^
-                      (w[i - 15] >> 3);
-        uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^
-                      (w[i - 2] >> 10);
-        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    for (int i = 16; i < 64; i += 2) {
+        w[i] = w[i - 16] + small_sigma0(w[i - 15]) + w[i - 7] +
+               small_sigma1(w[i - 2]);
+        w[i + 1] = w[i - 15] + small_sigma0(w[i - 14]) + w[i - 6] +
+                   small_sigma1(w[i - 1]);
     }
 
     uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
     uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
 
-    for (int i = 0; i < 64; ++i) {
-        uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-        uint32_t ch = (e & f) ^ (~e & g);
-        uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-        uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-        uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-        uint32_t temp2 = s0 + maj;
-        h = g;
-        g = f;
-        f = e;
-        e = d + temp1;
-        d = c;
-        c = b;
-        b = a;
-        a = temp1 + temp2;
+    // One round with the working variables permuted in place of the
+    // h=g; g=f; ... rotation chain; eight of these bring the names
+    // back into position, so the loop is unrolled 8 rounds per step.
+#define OCC_SHA256_ROUND(a, b, c, d, e, f, g, h, i)                     \
+    do {                                                                \
+        uint32_t t1 = h + big_sigma1(e) + ((e & f) ^ (~e & g)) +        \
+                      kK[i] + w[i];                                     \
+        uint32_t t2 = big_sigma0(a) + ((a & b) ^ (a & c) ^ (b & c));    \
+        d += t1;                                                        \
+        h = t1 + t2;                                                    \
+    } while (0)
+
+    for (int i = 0; i < 64; i += 8) {
+        OCC_SHA256_ROUND(a, b, c, d, e, f, g, h, i + 0);
+        OCC_SHA256_ROUND(h, a, b, c, d, e, f, g, i + 1);
+        OCC_SHA256_ROUND(g, h, a, b, c, d, e, f, i + 2);
+        OCC_SHA256_ROUND(f, g, h, a, b, c, d, e, i + 3);
+        OCC_SHA256_ROUND(e, f, g, h, a, b, c, d, i + 4);
+        OCC_SHA256_ROUND(d, e, f, g, h, a, b, c, i + 5);
+        OCC_SHA256_ROUND(c, d, e, f, g, h, a, b, i + 6);
+        OCC_SHA256_ROUND(b, c, d, e, f, g, h, a, i + 7);
     }
+#undef OCC_SHA256_ROUND
 
     state_[0] += a;
     state_[1] += b;
@@ -100,7 +165,8 @@ void
 Sha256::update(const uint8_t *data, size_t len)
 {
     total_len_ += len;
-    while (len > 0) {
+    // Top up a partially filled buffer first.
+    if (buffered_ != 0) {
         size_t take = std::min(len, sizeof(buffer_) - buffered_);
         std::memcpy(buffer_ + buffered_, data, take);
         buffered_ += take;
@@ -111,25 +177,35 @@ Sha256::update(const uint8_t *data, size_t len)
             buffered_ = 0;
         }
     }
+    // Full blocks straight from the input, no staging copy.
+    while (len >= sizeof(buffer_)) {
+        compress(data);
+        data += sizeof(buffer_);
+        len -= sizeof(buffer_);
+    }
+    if (len > 0) {
+        std::memcpy(buffer_, data, len);
+        buffered_ = len;
+    }
 }
 
 Sha256Digest
 Sha256::finish()
 {
     uint64_t bit_len = total_len_ * 8;
-    uint8_t pad = 0x80;
-    update(&pad, 1);
-    uint8_t zero = 0;
-    while (buffered_ != 56) {
-        update(&zero, 1);
+    // Pad in place: 0x80, zeros to 56 mod 64, then the bit length.
+    // Spills into a second compression when fewer than 9 bytes of the
+    // current block remain.
+    buffer_[buffered_++] = 0x80;
+    if (buffered_ > 56) {
+        std::memset(buffer_ + buffered_, 0, sizeof(buffer_) - buffered_);
+        compress(buffer_);
+        buffered_ = 0;
     }
-    uint8_t len_be[8];
+    std::memset(buffer_ + buffered_, 0, 56 - buffered_);
     for (int i = 0; i < 8; ++i) {
-        len_be[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+        buffer_[56 + i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
     }
-    // Bypass total_len_ accounting for the length block itself.
-    std::memcpy(buffer_ + buffered_, len_be, 8);
-    buffered_ += 8;
     compress(buffer_);
     buffered_ = 0;
 

@@ -5,6 +5,14 @@
  * Used for enclave measurement (EEXTEND), OELF content digests, and as
  * the compression function under HMAC. Tested against the FIPS/NIST
  * vectors in tests/crypto_test.cc.
+ *
+ * The compression loop is unrolled (8 rounds per step, no register
+ * rotation chain) for throughput, and the hasher exposes a resumable
+ * *midstate*: the 8-word chaining value at a 64-byte block boundary.
+ * HmacKey caches the post-pad midstates so each MAC skips two
+ * compressions, and sgx::Enclave resumes one persistent page hasher
+ * from the initial midstate instead of constructing a hasher per
+ * measured page.
  */
 #ifndef OCCLUM_CRYPTO_SHA256_H
 #define OCCLUM_CRYPTO_SHA256_H
@@ -19,6 +27,17 @@ namespace occlum::crypto {
 
 /** A 32-byte SHA-256 digest. */
 using Sha256Digest = std::array<uint8_t, 32>;
+
+/**
+ * A resumable SHA-256 state captured at a 64-byte block boundary:
+ * the chaining value plus the number of bytes absorbed so far.
+ * Capturing costs nothing; resuming replaces init + re-absorbing
+ * `total_len` bytes with a 40-byte copy.
+ */
+struct Sha256Midstate {
+    std::array<uint32_t, 8> state{};
+    uint64_t total_len = 0;
+};
 
 /** Incremental SHA-256 hasher. */
 class Sha256
@@ -35,6 +54,18 @@ class Sha256
 
     /** Finalize and return the digest; the hasher must be reset after. */
     Sha256Digest finish();
+
+    /**
+     * Capture the current state as a midstate. Only valid on a block
+     * boundary (no bytes buffered) — checked.
+     */
+    Sha256Midstate midstate() const;
+
+    /** Restore a previously captured midstate (discards current state). */
+    void resume(const Sha256Midstate &m);
+
+    /** The midstate of a fresh hasher (total_len = 0). */
+    static const Sha256Midstate &initial_midstate();
 
     /** One-shot convenience. */
     static Sha256Digest

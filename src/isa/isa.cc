@@ -571,6 +571,7 @@ decode(const uint8_t *code, size_t size, size_t offset, uint64_t vaddr)
         instr.op = Opcode::kCfiLabel;
         instr.label_id = get_le<uint32_t>(p + 4);
         instr.length = kCfiLabelSize;
+        instr.cost = cycle_cost(instr);
         return instr;
     }
 
@@ -682,6 +683,7 @@ decode(const uint8_t *code, size_t size, size_t offset, uint64_t vaddr)
       case Sig::kCfi:
         return fail("unreachable");
     }
+    instr.cost = cycle_cost(instr);
     return instr;
 }
 

@@ -186,6 +186,13 @@ struct Instruction {
     uint64_t address = 0; // virtual address of the first byte
     uint32_t length = 0;  // encoded length in bytes
 
+    /**
+     * cycle_cost(*this), stamped by decode() so the VM's dispatch
+     * loop charges a precomputed field instead of re-classifying the
+     * opcode on every execution. Identical value, cheaper to read.
+     */
+    uint32_t cost = 1;
+
     /** Address of the next sequential instruction. */
     uint64_t end() const { return address + length; }
 

@@ -1,5 +1,6 @@
 #include "libos/encfs.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "base/cost_model.h"
@@ -13,11 +14,20 @@ namespace {
 constexpr uint32_t kIndirectEntries =
     EncFs::kBlockSize / sizeof(uint32_t);
 
+/**
+ * Chunk size for the fused encrypt+MAC / decrypt+verify passes: big
+ * enough to amortize call overhead, small enough that a chunk of
+ * ciphertext is still hot in L1 when the second primitive touches it.
+ * Must be a multiple of both the AES block (16) and SHA-256 block (64).
+ */
+constexpr size_t kCryptoChunk = 1024;
+
 } // namespace
 
 EncFs::EncFs(host::BlockDevice &device, SimClock &clock, Config config)
     : device_(&device), clock_(&clock), config_(config),
-      cipher_(config.key)
+      cipher_(config.key),
+      mac_key_(config.key.data(), config.key.size())
 {
     // Geometry: MAC table sized to cover every payload block.
     uint64_t total = device.block_count();
@@ -47,6 +57,8 @@ EncFs::EncFs(host::BlockDevice &device, SimClock &clock, Config config)
     ctr_cache_misses_ = &registry.counter("encfs.cache_misses");
     ctr_dev_reads_ = &registry.counter("encfs.dev_reads");
     ctr_dev_writes_ = &registry.counter("encfs.dev_writes");
+    ctr_evictions_ = &registry.counter("encfs.evictions");
+    ctr_readahead_ = &registry.counter("encfs.readahead_blocks");
 }
 
 void
@@ -79,21 +91,46 @@ EncFs::ctr_iv(uint32_t block, uint64_t counter)
     return iv;
 }
 
-Bytes
-EncFs::crypt_block(uint32_t block, uint64_t counter, const Bytes &in) const
+crypto::Sha256Digest
+EncFs::encrypt_mac(uint32_t block, uint64_t counter, const Bytes &plain,
+                   Bytes &ciphertext) const
 {
-    return cipher_.ctr_crypt(ctr_iv(block, counter), 0, in);
+    ciphertext.resize(plain.size());
+    auto iv = ctr_iv(block, counter);
+    crypto::Sha256 h = mac_key_.begin();
+    for (size_t off = 0; off < plain.size(); off += kCryptoChunk) {
+        size_t n = std::min(kCryptoChunk, plain.size() - off);
+        cipher_.ctr_crypt(iv, static_cast<uint32_t>(off / 16),
+                          plain.data() + off, ciphertext.data() + off,
+                          n);
+        h.update(ciphertext.data() + off, n);
+    }
+    uint8_t trailer[12];
+    set_le<uint32_t>(trailer, block);
+    set_le<uint64_t>(trailer + 4, counter);
+    h.update(trailer, sizeof(trailer));
+    return mac_key_.finish(h);
 }
 
-crypto::Sha256Digest
-EncFs::block_mac(uint32_t block, uint64_t counter,
-                 const Bytes &ciphertext) const
+bool
+EncFs::decrypt_verify(uint32_t block, const MacRecord &record,
+                      const Bytes &ciphertext, Bytes &plain) const
 {
-    Bytes payload = ciphertext;
-    put_le<uint32_t>(payload, block);
-    put_le<uint64_t>(payload, counter);
-    return crypto::hmac_sha256(config_.key.data(), config_.key.size(),
-                               payload.data(), payload.size());
+    plain.resize(ciphertext.size());
+    auto iv = ctr_iv(block, record.counter);
+    crypto::Sha256 h = mac_key_.begin();
+    for (size_t off = 0; off < ciphertext.size(); off += kCryptoChunk) {
+        size_t n = std::min(kCryptoChunk, ciphertext.size() - off);
+        h.update(ciphertext.data() + off, n);
+        cipher_.ctr_crypt(iv, static_cast<uint32_t>(off / 16),
+                          ciphertext.data() + off, plain.data() + off,
+                          n);
+    }
+    uint8_t trailer[12];
+    set_le<uint32_t>(trailer, block);
+    set_le<uint64_t>(trailer + 4, record.counter);
+    h.update(trailer, sizeof(trailer));
+    return crypto::digest_equal(mac_key_.finish(h), record.mac);
 }
 
 // ---------------------------------------------------------------------
@@ -178,7 +215,9 @@ EncFs::get_block(uint32_t block, bool for_write)
     if (it != cache_.end()) {
         ++cache_hits_;
         ctr_cache_hits_->add();
-        it->second.stamp = ++lru_stamp_;
+        if (it->second.lru_it != lru_.begin()) {
+            lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+        }
         if (for_write) {
             it->second.dirty = true;
         }
@@ -190,7 +229,6 @@ EncFs::get_block(uint32_t block, bool for_write)
 
     const MacRecord &record = mac_table_[block];
     CacheEntry entry;
-    entry.stamp = ++lru_stamp_;
     entry.dirty = for_write;
     if (record.counter == 0) {
         // Never written: logically zero, nothing to fetch or verify.
@@ -203,16 +241,16 @@ EncFs::get_block(uint32_t block, bool for_write)
             OCC_RETURN_IF_ERROR(device_->read_block(block, ciphertext));
             charge_ocall();
         }
-        crypto::Sha256Digest expect =
-            block_mac(block, record.counter, ciphertext);
+        bool ok = decrypt_verify(block, record, ciphertext, entry.data);
         charge_crypto(kBlockSize);
-        if (!crypto::digest_equal(expect, record.mac)) {
+        if (!ok) {
             return Error(ErrorCode::kIo,
                          "EncFs: integrity check failed on block " +
                              std::to_string(block));
         }
-        entry.data = crypt_block(block, record.counter, ciphertext);
     }
+    lru_.push_front(block);
+    entry.lru_it = lru_.begin();
     auto [pos, inserted] = cache_.emplace(block, std::move(entry));
     OCC_CHECK(inserted);
     return &pos->second.data;
@@ -226,8 +264,9 @@ EncFs::flush_entry(uint32_t block, CacheEntry &entry)
     }
     MacRecord &record = mac_table_[block];
     ++record.counter;
-    Bytes ciphertext = crypt_block(block, record.counter, entry.data);
-    record.mac = block_mac(block, record.counter, ciphertext);
+    Bytes ciphertext;
+    record.mac = encrypt_mac(block, record.counter, entry.data,
+                             ciphertext);
     charge_crypto(kBlockSize);
     {
         OCC_TRACE_SPAN(kOcall, "encfs.dev_write", block);
@@ -244,15 +283,18 @@ EncFs::flush_entry(uint32_t block, CacheEntry &entry)
 Status
 EncFs::evict_if_needed()
 {
+    // O(1) per eviction: the LRU victim is the back of the list (the
+    // old path scanned the whole map per eviction — quadratic under
+    // cache pressure).
     while (cache_.size() >= config_.cache_blocks) {
-        auto victim = cache_.begin();
-        for (auto it = cache_.begin(); it != cache_.end(); ++it) {
-            if (it->second.stamp < victim->second.stamp) {
-                victim = it;
-            }
-        }
-        OCC_RETURN_IF_ERROR(flush_entry(victim->first, victim->second));
-        cache_.erase(victim);
+        uint32_t victim = lru_.back();
+        auto it = cache_.find(victim);
+        OCC_CHECK(it != cache_.end());
+        OCC_RETURN_IF_ERROR(flush_entry(victim, it->second));
+        lru_.pop_back();
+        cache_.erase(it);
+        ++evictions_;
+        ctr_evictions_->add();
     }
     return Status();
 }
@@ -260,8 +302,18 @@ EncFs::evict_if_needed()
 Status
 EncFs::sync()
 {
+    // Flush in ascending block order: the hash map iterates in an
+    // arbitrary (but deterministic) order, and keeping the device
+    // write sequence sorted preserves the exact trace/device behaviour
+    // of the previous std::map cache.
+    std::vector<uint32_t> blocks;
+    blocks.reserve(cache_.size());
     for (auto &[block, entry] : cache_) {
-        OCC_RETURN_IF_ERROR(flush_entry(block, entry));
+        blocks.push_back(block);
+    }
+    std::sort(blocks.begin(), blocks.end());
+    for (uint32_t block : blocks) {
+        OCC_RETURN_IF_ERROR(flush_entry(block, cache_.at(block)));
     }
     return flush_mac_table();
 }
@@ -276,6 +328,7 @@ EncFs::mkfs()
     mac_table_.assign(device_->block_count(), MacRecord{});
     mac_block_dirty_.assign(mac_blocks_, true);
     cache_.clear();
+    lru_.clear();
     mounted_ = true;
 
     // Superblock.
@@ -313,6 +366,7 @@ EncFs::mount()
 {
     OCC_RETURN_IF_ERROR(load_mac_table());
     cache_.clear();
+    lru_.clear();
     mounted_ = true;
     auto sb = get_block(super_block_, false);
     if (!sb.ok()) {
@@ -753,9 +807,48 @@ EncFs::read(uint32_t inode_index, uint64_t offset, uint8_t *out,
         }
         done += n;
     }
+    maybe_readahead(inode_index, node, offset, len);
     clock_->advance(static_cast<uint64_t>(
         done * CostModel::kMemcpyCyclesPerByte));
     return static_cast<int64_t>(done);
+}
+
+void
+EncFs::maybe_readahead(uint32_t inode_index, Inode &node,
+                       uint64_t offset, uint64_t len)
+{
+    size_t ra = config_.readahead_blocks;
+    bool sequential =
+        inode_index == ra_inode_ && offset == ra_expect_offset_;
+    ra_streak_ = sequential ? ra_streak_ + 1 : 0;
+    ra_inode_ = inode_index;
+    ra_expect_offset_ = offset + len;
+    // Only prefetch for an established stream (second sequential read
+    // onward), and never when the cache is so small that prefetched
+    // blocks would evict the working set before being consumed.
+    if (ra == 0 || ra_streak_ == 0 || config_.cache_blocks < 4 * ra) {
+        return;
+    }
+    uint64_t next_fb = (offset + len + kBlockSize - 1) / kBlockSize;
+    uint64_t end_fb = (node.size + kBlockSize - 1) / kBlockSize;
+    bool inode_dirty = false;
+    for (uint64_t fb = next_fb; fb < next_fb + ra && fb < end_fb; ++fb) {
+        auto block = map_file_block(node, fb, false, inode_dirty);
+        if (!block.ok()) {
+            return;
+        }
+        if (block.value() == kNoBlock ||
+            cache_.find(block.value()) != cache_.end()) {
+            continue; // hole, or already resident
+        }
+        ctr_readahead_->add();
+        // A failed prefetch (e.g. integrity error) is not reported
+        // here; the demand fetch will hit the same error and surface
+        // it to the caller.
+        if (!get_block(block.value(), false).ok()) {
+            return;
+        }
+    }
 }
 
 Result<int64_t>

@@ -26,8 +26,8 @@
 #define OCCLUM_LIBOS_ENCFS_H
 
 #include <list>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "base/result.h"
@@ -69,6 +69,14 @@ class EncFs
         /** Per-device-I/O enclave transition cost (OCALL). Zero when
          *  the FS is used outside an enclave (tests). */
         uint64_t ocall_cycles = 0;
+        /**
+         * Blocks pulled ahead of a detected sequential read stream
+         * (0 disables). Prefetched blocks pay exactly the demand-fetch
+         * charges at prefetch time, so a stream that consumes them
+         * accrues bit-identical simulated cycles — only wall-clock
+         * and device-round-trip batching change.
+         */
+        size_t readahead_blocks = 8;
     };
 
     EncFs(host::BlockDevice &device, SimClock &clock, Config config);
@@ -103,6 +111,7 @@ class EncFs
     // ---- statistics ---------------------------------------------------
     uint64_t cache_hits() const { return cache_hits_; }
     uint64_t cache_misses() const { return cache_misses_; }
+    uint64_t evictions() const { return evictions_; }
 
   private:
     static constexpr uint32_t kMagic = 0x0ccf5001;
@@ -124,7 +133,8 @@ class EncFs
     struct CacheEntry {
         Bytes data;
         bool dirty = false;
-        uint64_t stamp = 0;
+        /** Position in lru_ (front = most recently used). */
+        std::list<uint32_t>::iterator lru_it;
     };
 
     // ---- block layer ---------------------------------------------------
@@ -132,6 +142,9 @@ class EncFs
     Result<Bytes *> get_block(uint32_t block, bool for_write);
     Status flush_entry(uint32_t block, CacheEntry &entry);
     Status evict_if_needed();
+    /** Pull blocks ahead of a detected sequential read stream. */
+    void maybe_readahead(uint32_t inode_index, Inode &node,
+                         uint64_t offset, uint64_t len);
     void charge_crypto(uint64_t bytes);
     void charge_ocall();
 
@@ -160,6 +173,8 @@ class EncFs
     SimClock *clock_;
     Config config_;
     crypto::Aes128 cipher_;
+    /** Cached-midstate HMAC key: one MAC per block, many per second. */
+    crypto::HmacKey mac_key_;
     bool mounted_ = false;
 
     uint32_t mac_blocks_ = 0;
@@ -181,21 +196,46 @@ class EncFs
 
     Status load_mac_table();
     Status flush_mac_table();
-    crypto::Sha256Digest block_mac(uint32_t block, uint64_t counter,
-                                   const Bytes &ciphertext) const;
-    Bytes crypt_block(uint32_t block, uint64_t counter,
-                      const Bytes &in) const;
+    /**
+     * Fused encrypt+MAC: CTR-encrypts `plain` into `ciphertext` and
+     * authenticates it in one chunked pass (the MAC covers
+     * ciphertext || LE32(block) || LE64(counter), as before).
+     */
+    crypto::Sha256Digest encrypt_mac(uint32_t block, uint64_t counter,
+                                     const Bytes &plain,
+                                     Bytes &ciphertext) const;
+    /**
+     * Fused decrypt+verify: one chunked pass that both decrypts
+     * `ciphertext` into `plain` and recomputes the MAC. Returns false
+     * (leaving `plain` untrusted) when the MAC does not match.
+     */
+    bool decrypt_verify(uint32_t block, const MacRecord &record,
+                        const Bytes &ciphertext, Bytes &plain) const;
 
-    std::map<uint32_t, CacheEntry> cache_;
-    uint64_t lru_stamp_ = 0;
+    /**
+     * Page cache: O(1) lookup via the hash map, O(1) LRU via the
+     * intrusive list (front = hottest, eviction pops the back).
+     * unordered_map nodes are pointer-stable, so Bytes* handed out by
+     * get_block stay valid until that block is evicted.
+     */
+    std::unordered_map<uint32_t, CacheEntry> cache_;
+    std::list<uint32_t> lru_;
     uint64_t cache_hits_ = 0;
     uint64_t cache_misses_ = 0;
+    uint64_t evictions_ = 0;
+
+    // Sequential-read detection for readahead.
+    uint32_t ra_inode_ = 0xffffffff;
+    uint64_t ra_expect_offset_ = 0;
+    uint64_t ra_streak_ = 0;
 
     // Registry metrics (registered at construction; see metrics.h).
     trace::Counter *ctr_cache_hits_ = nullptr;
     trace::Counter *ctr_cache_misses_ = nullptr;
     trace::Counter *ctr_dev_reads_ = nullptr;
     trace::Counter *ctr_dev_writes_ = nullptr;
+    trace::Counter *ctr_evictions_ = nullptr;
+    trace::Counter *ctr_readahead_ = nullptr;
 };
 
 } // namespace occlum::libos

@@ -168,6 +168,7 @@ OcclumSystem::OcclumSystem(sgx::Platform &platform,
     EncFs::Config fs_config;
     fs_config.key = config_.fs_key;
     fs_config.cache_blocks = config_.fs_cache_blocks;
+    fs_config.readahead_blocks = config_.fs_readahead_blocks;
     fs_config.ocall_cycles =
         CostModel::kEexitCycles + CostModel::kEenterCycles;
     encfs_ = std::make_unique<EncFs>(*device_, platform.clock(),

@@ -93,6 +93,8 @@ class OcclumSystem : public oskit::Kernel
         crypto::Key128 fs_key{};
         bool check_signatures = true;
         size_t fs_cache_blocks = 2048;
+        /** EncFs sequential readahead depth (0 disables). */
+        size_t fs_readahead_blocks = 8;
     };
 
     OcclumSystem(sgx::Platform &platform, host::HostFileStore &binaries,

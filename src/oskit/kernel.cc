@@ -405,30 +405,37 @@ Kernel::dispatch(Process &proc, uint64_t num,
 
       case Sys::kWrite:
       case Sys::kRead: {
-        FilePtr file = file_of(args[0]);
-        if (!file) return neg_errno(ErrorCode::kBadF);
+        // Hot path: no FilePtr refcount traffic (the fd table entry
+        // outlives the call) and a reused kernel bounce buffer
+        // instead of a fresh zero-filled allocation per syscall.
+        auto it = proc.fds.find(static_cast<int>(args[0]));
+        if (it == proc.fds.end()) return neg_errno(ErrorCode::kBadF);
+        FileObject *file = it->second.get();
         uint64_t buf = args[1];
         uint64_t len = std::min<uint64_t>(args[2], 1 << 20);
         if (len == 0) return 0;
-        Bytes tmp(len);
+        if (io_scratch_.size() < len) {
+            io_scratch_.resize(len);
+        }
+        uint8_t *tmp = io_scratch_.data();
         if (static_cast<Sys>(num) == Sys::kWrite) {
-            if (!copy_from_user(proc, buf, tmp.data(), len).ok()) {
+            if (!copy_from_user(proc, buf, tmp, len).ok()) {
                 return neg_errno(ErrorCode::kFault);
             }
-            IoResult r = file->write(*this, tmp.data(), len);
+            IoResult r = file->write(*this, tmp, len);
             if (r.would_block) {
                 proc.wake_time = r.wake_time;
                 return std::nullopt;
             }
             return r.value;
         }
-        IoResult r = file->read(*this, tmp.data(), len);
+        IoResult r = file->read(*this, tmp, len);
         if (r.would_block) {
             proc.wake_time = r.wake_time;
             return std::nullopt;
         }
         if (r.value > 0) {
-            if (!copy_to_user(proc, buf, tmp.data(),
+            if (!copy_to_user(proc, buf, tmp,
                               static_cast<uint64_t>(r.value))
                      .ok()) {
                 return neg_errno(ErrorCode::kFault);

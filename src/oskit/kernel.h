@@ -300,6 +300,8 @@ class Kernel
     trace::Histogram *hist_syscall_cycles_;
     /** Processes whose blocked syscall should be retried. */
     bool any_progress_ = false;
+    /** Reused read/write bounce buffer (grows to the largest I/O). */
+    Bytes io_scratch_;
 };
 
 } // namespace occlum::oskit

@@ -126,10 +126,14 @@ Enclave::add_pages(uint64_t vaddr, uint64_t len, uint8_t perms,
     uint64_t pages = len / vm::kPageSize;
     for (uint64_t i = 0; i < pages; ++i) {
         uint64_t page_vaddr = vaddr + i * vm::kPageSize;
-        Bytes meta;
-        put_le<uint64_t>(meta, page_vaddr);
-        meta.push_back(perms);
-        measuring_.update(meta);
+        // Same bytes as put_le<uint64_t> + perms, without a heap
+        // allocation per measured page.
+        uint8_t meta[9];
+        for (int b = 0; b < 8; ++b) {
+            meta[b] = static_cast<uint8_t>(page_vaddr >> (8 * b));
+        }
+        meta[8] = perms;
+        measuring_.update(meta, sizeof(meta));
 
         uint64_t content_off = i * vm::kPageSize;
         if (content_off >= content.size()) {
@@ -137,11 +141,16 @@ Enclave::add_pages(uint64_t vaddr, uint64_t len, uint8_t perms,
             measuring_.update(zero_page_digest().data(),
                               zero_page_digest().size());
         } else {
+            // Stream the page through the persistent hasher, resumed
+            // from the cached initial midstate, rather than
+            // constructing a fresh Sha256 per measured page. The
+            // digest folded into the measurement is unchanged.
+            page_hasher_.resume(crypto::Sha256::initial_midstate());
             uint8_t page[vm::kPageSize];
             OCC_CHECK(mem_.read_raw(page_vaddr, page, vm::kPageSize) ==
                       vm::AccessFault::kNone);
-            crypto::Sha256Digest d =
-                crypto::Sha256::digest(page, vm::kPageSize);
+            page_hasher_.update(page, vm::kPageSize);
+            crypto::Sha256Digest d = page_hasher_.finish();
             measuring_.update(d.data(), d.size());
         }
     }
@@ -162,11 +171,11 @@ Enclave::measure_reserved(uint64_t len)
     }
     OCC_TRACE_SPAN(kSgx, "sgx.eadd_reserve", len / vm::kPageSize);
     uint64_t pages = len / vm::kPageSize;
+    uint8_t meta[9]; // LE64(~0) anonymous-reserve marker + perms
+    std::memset(meta, 0xff, 8);
+    meta[8] = vm::kPermRW;
     for (uint64_t i = 0; i < pages; ++i) {
-        Bytes meta;
-        put_le<uint64_t>(meta, ~0ull); // anonymous reserve page
-        meta.push_back(vm::kPermRW);
-        measuring_.update(meta);
+        measuring_.update(meta, sizeof(meta));
         measuring_.update(zero_page_digest().data(),
                           zero_page_digest().size());
     }

@@ -156,6 +156,8 @@ class Enclave
     uint64_t size_;
     vm::AddressSpace mem_;
     crypto::Sha256 measuring_;
+    /** Reused per-page hasher for EEXTEND content measurement. */
+    crypto::Sha256 page_hasher_;
     crypto::Sha256Digest measurement_{};
     bool initialized_ = false;
     uint64_t added_pages_ = 0;

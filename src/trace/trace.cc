@@ -6,8 +6,6 @@ namespace occlum::trace {
 
 namespace {
 
-Tracer g_tracer;
-
 size_t
 round_up_pow2(size_t n)
 {
@@ -19,12 +17,6 @@ round_up_pow2(size_t n)
 }
 
 } // namespace
-
-Tracer &
-Tracer::instance()
-{
-    return g_tracer;
-}
 
 void
 Tracer::enable(size_t capacity)

@@ -141,6 +141,19 @@ class Tracer
 std::array<uint64_t, kNumCategories>
 self_cycles_by_category(const std::vector<Event> &events);
 
+/**
+ * The single tracer instance. An inline variable (not a function-local
+ * static) so the disabled-tracer check on hot paths inlines to one
+ * flag load with no initialization guard.
+ */
+inline Tracer g_tracer_instance;
+
+inline Tracer &
+Tracer::instance()
+{
+    return g_tracer_instance;
+}
+
 /** RAII begin/end span; no-op when the tracer is disabled. */
 class ScopedSpan
 {

@@ -15,10 +15,9 @@ AddressSpace::map(uint64_t addr, uint64_t len, uint8_t perms)
             return Status(ErrorCode::kExist, "map: page already mapped");
         }
     }
+    pages_.reserve(pages_.size() + len / kPageSize);
     for (uint64_t a = addr; a < addr + len; a += kPageSize) {
-        Page page;
-        page.data = std::make_unique<uint8_t[]>(kPageSize);
-        std::memset(page.data.get(), 0, kPageSize);
+        Page page; // backing store stays lazy until the first write
         page.perms = perms;
         pages_.emplace(a / kPageSize, std::move(page));
     }
@@ -126,6 +125,13 @@ AddressSpace::find_page(uint64_t addr)
     return lookup_page(addr / kPageSize);
 }
 
+void
+AddressSpace::materialize(Page &page)
+{
+    page.data = std::make_unique<uint8_t[]>(kPageSize);
+    std::memset(page.data.get(), 0, kPageSize);
+}
+
 template <bool Write>
 AccessFault
 AddressSpace::access(uint64_t addr, void *buf, uint64_t len, uint8_t require)
@@ -143,12 +149,20 @@ AddressSpace::access(uint64_t addr, void *buf, uint64_t len, uint8_t require)
             return AccessFault::kNoRead;
         }
         if constexpr (Write) {
+            if (!page->data) {
+                materialize(*page);
+            }
             std::memcpy(page->data.get() + (addr & kPageMask), buf, len);
             if (page->perms & kPermX) {
                 touch_code();
             }
         } else {
-            std::memcpy(buf, page->data.get() + (addr & kPageMask), len);
+            if (!page->data) {
+                std::memset(buf, 0, len); // lazy page: logically zeros
+            } else {
+                std::memcpy(buf, page->data.get() + (addr & kPageMask),
+                            len);
+            }
         }
         return AccessFault::kNone;
     }
@@ -179,10 +193,18 @@ AddressSpace::access(uint64_t addr, void *buf, uint64_t len, uint8_t require)
         uint64_t in_page = kPageSize - (a & kPageMask);
         uint64_t n = std::min(in_page, len - done);
         if constexpr (Write) {
+            if (!page->data) {
+                materialize(*page);
+            }
             std::memcpy(page->data.get() + (a & kPageMask), out + done, n);
             wrote_exec = wrote_exec || (page->perms & kPermX);
         } else {
-            std::memcpy(out + done, page->data.get() + (a & kPageMask), n);
+            if (!page->data) {
+                std::memset(out + done, 0, n);
+            } else {
+                std::memcpy(out + done,
+                            page->data.get() + (a & kPageMask), n);
+            }
         }
         done += n;
     }
@@ -228,15 +250,31 @@ AddressSpace::write_raw(uint64_t addr, const void *in, uint64_t len)
 AccessFault
 AddressSpace::zero_raw(uint64_t addr, uint64_t len)
 {
-    Bytes zeros(std::min<uint64_t>(len, kPageSize), 0);
     uint64_t done = 0;
+    bool wrote_exec = false;
     while (done < len) {
-        uint64_t n = std::min<uint64_t>(zeros.size(), len - done);
-        AccessFault fault = write_raw(addr + done, zeros.data(), n);
-        if (fault != AccessFault::kNone) {
-            return fault;
+        uint64_t a = addr + done;
+        Page *page = find_page(a);
+        if (!page) {
+            if (wrote_exec) {
+                touch_code();
+            }
+            return AccessFault::kUnmapped;
         }
+        uint64_t in_page = kPageSize - (a & kPageMask);
+        uint64_t n = std::min(in_page, len - done);
+        if (page->data) {
+            // Materialized page: clear just the requested span.
+            std::memset(page->data.get() + (a & kPageMask), 0, n);
+            wrote_exec = wrote_exec || (page->perms & kPermX);
+        }
+        // Lazy pages are already logically zero: nothing to do, and
+        // crucially no backing store is allocated, so zero-filling a
+        // fresh multi-MiB mapping stays O(pages touched).
         done += n;
+    }
+    if (wrote_exec) {
+        touch_code();
     }
     return AccessFault::kNone;
 }

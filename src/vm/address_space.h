@@ -95,6 +95,13 @@ class AddressSpace
     uint64_t code_generation() const { return code_generation_; }
 
   private:
+    /**
+     * A null `data` means the page is logically all-zeros and has no
+     * backing store yet; the first write materializes it. Newly
+     * mapped pages start in this state, so mapping a multi-MiB
+     * reserve region (enclave slots, heaps) is O(pages) map entries,
+     * not O(bytes) of memset.
+     */
     struct Page {
         std::unique_ptr<uint8_t[]> data;
         uint8_t perms = kPermNone;
@@ -106,11 +113,14 @@ class AddressSpace
      * only unmap() (node erase) has to flush. Permissions are read
      * through the pointer, so protect() needs no flush either.
      */
-    static constexpr size_t kTlbEntries = 64;
+    static constexpr size_t kTlbEntries = 256;
     struct TlbEntry {
         uint64_t page_no = ~0ull;
         Page *page = nullptr;
     };
+
+    /** First write to a lazy zero page: allocate + clear its backing. */
+    static void materialize(Page &page);
 
     Page *lookup_page(uint64_t page_no) const;
     const Page *find_page(uint64_t addr) const;

@@ -353,7 +353,7 @@ Cpu::execute(const Instruction &instr, CpuExit *exit)
 {
     uint64_t next_rip = instr.end();
 
-    cycles_ += isa::cycle_cost(instr);
+    cycles_ += instr.cost; // == isa::cycle_cost(instr), stamped at decode
     ++instructions_;
 
     auto &regs = state_.regs;

@@ -215,5 +215,248 @@ TEST(Aes128, DistinctIvDistinctStream)
     EXPECT_NE(aes.ctr_crypt(iv1, 0, zeros), aes.ctr_crypt(iv2, 0, zeros));
 }
 
+// ---- Known-answer batteries for the rebuilt fast paths ------------------
+
+/** Runs the body under both AES implementations (T-table and scalar
+ *  reference), restoring the mode afterwards. */
+template <typename Fn>
+void
+for_both_aes_modes(Fn &&body)
+{
+    bool saved = Aes128::reference_mode();
+    for (bool reference : {false, true}) {
+        Aes128::set_reference_mode(reference);
+        body(reference);
+    }
+    Aes128::set_reference_mode(saved);
+}
+
+// SP 800-38A F.5.1 CTR-AES128.Encrypt: counter block
+// f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff = IV f0..fb, counter 0xfcfdfeff.
+const char *kSpCtrKey = "2b7e151628aed2a6abf7158809cf4f3c";
+const std::array<uint8_t, 12> kSpCtrIv = {0xf0, 0xf1, 0xf2, 0xf3,
+                                          0xf4, 0xf5, 0xf6, 0xf7,
+                                          0xf8, 0xf9, 0xfa, 0xfb};
+constexpr uint32_t kSpCtrCounter0 = 0xfcfdfeff;
+const char *kSpCtrPlain =
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710";
+const char *kSpCtrCipher =
+    "874d6191b620e3261bef6864990db6ce"
+    "9806f66b7970fdff8617187bb9fffdff"
+    "5ae4df3edbd5d35e5b4f09020db03eab"
+    "1e031dda2fbe03d1792170a0f3009cee";
+
+TEST(Aes128Kat, Sp800_38aCtrMultiBlock)
+{
+    for_both_aes_modes([&](bool reference) {
+        Aes128 aes(key_from_hex(kSpCtrKey));
+        Bytes ct = aes.ctr_crypt(kSpCtrIv, kSpCtrCounter0,
+                                 from_hex(kSpCtrPlain));
+        EXPECT_EQ(to_hex(ct.data(), ct.size()), kSpCtrCipher)
+            << "reference=" << reference;
+    });
+}
+
+TEST(Aes128Kat, CtrNonBlockAlignedLengths)
+{
+    // CTR is a stream: a length-L encryption must be the L-byte
+    // prefix of the full-vector ciphertext, for any L (including
+    // lengths that end mid-block and mid-keystream-batch).
+    Bytes plain = from_hex(kSpCtrPlain);
+    Bytes full = from_hex(kSpCtrCipher);
+    for_both_aes_modes([&](bool reference) {
+        Aes128 aes(key_from_hex(kSpCtrKey));
+        for (size_t len : {1u, 5u, 15u, 17u, 31u, 33u, 47u, 60u, 63u}) {
+            Bytes part(plain.begin(), plain.begin() + len);
+            Bytes ct = aes.ctr_crypt(kSpCtrIv, kSpCtrCounter0, part);
+            EXPECT_EQ(ct, Bytes(full.begin(), full.begin() + len))
+                << "reference=" << reference << " len=" << len;
+        }
+    });
+}
+
+TEST(Aes128Kat, CtrCounterWrap)
+{
+    // The 32-bit block counter wraps modulo 2^32: a stream crossing
+    // the wrap equals the concatenation of the pre-wrap tail and a
+    // fresh stream starting at counter 0.
+    Aes128 aes(key_from_hex(kSpCtrKey));
+    std::array<uint8_t, 12> iv = {9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2};
+    Bytes zeros(64, 0);
+    Bytes crossing = aes.ctr_crypt(iv, 0xfffffffe, zeros);
+
+    Bytes head(zeros.begin(), zeros.begin() + 32);
+    Bytes tail(zeros.begin(), zeros.begin() + 32);
+    Bytes pre = aes.ctr_crypt(iv, 0xfffffffe, head);
+    Bytes post = aes.ctr_crypt(iv, 0, tail);
+    pre.insert(pre.end(), post.begin(), post.end());
+    EXPECT_EQ(crossing, pre);
+
+    // And the wrap behaves identically in both implementations.
+    Aes128::set_reference_mode(true);
+    Aes128 ref_aes(key_from_hex(kSpCtrKey));
+    EXPECT_EQ(ref_aes.ctr_crypt(iv, 0xfffffffe, zeros), crossing);
+    Aes128::set_reference_mode(false);
+}
+
+TEST(Aes128Kat, FastMatchesReferenceOnRandomInputs)
+{
+    // Deterministic xorshift-filled buffers across many lengths; the
+    // T-table path must agree with the first-principles path bit for
+    // bit on every byte.
+    uint64_t rng = 0x9e3779b97f4a7c15ull;
+    auto next = [&rng]() {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+    for (int trial = 0; trial < 8; ++trial) {
+        Key128 key{};
+        for (auto &b : key) {
+            b = static_cast<uint8_t>(next());
+        }
+        std::array<uint8_t, 12> iv{};
+        for (auto &b : iv) {
+            b = static_cast<uint8_t>(next());
+        }
+        uint32_t counter0 = static_cast<uint32_t>(next());
+        Bytes data(1 + (next() % 500), 0);
+        for (auto &b : data) {
+            b = static_cast<uint8_t>(next());
+        }
+
+        Aes128::set_reference_mode(false);
+        Bytes fast = Aes128(key).ctr_crypt(iv, counter0, data);
+        Aes128::set_reference_mode(true);
+        Bytes ref = Aes128(key).ctr_crypt(iv, counter0, data);
+        Aes128::set_reference_mode(false);
+        EXPECT_EQ(fast, ref) << "trial=" << trial;
+
+        uint8_t block_fast[16], block_ref[16];
+        Bytes pt(data.begin(),
+                 data.begin() + std::min<size_t>(16, data.size()));
+        pt.resize(16, 0);
+        Aes128(key).encrypt_block(pt.data(), block_fast);
+        Aes128::set_reference_mode(true);
+        Aes128(key).encrypt_block(pt.data(), block_ref);
+        Aes128::set_reference_mode(false);
+        EXPECT_EQ(to_hex(block_fast, 16), to_hex(block_ref, 16));
+    }
+}
+
+TEST(Sha256Kat, NistBoundaryLengths)
+{
+    // 55 bytes: longest message whose padding fits one block;
+    // 56 bytes: shortest that spills the length into a second block;
+    // 64 bytes: exactly one compression plus a full padding block.
+    EXPECT_EQ(digest_hex(Sha256::digest(Bytes(55, 'a'))),
+              "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e91"
+              "0f734318");
+    EXPECT_EQ(digest_hex(Sha256::digest(Bytes(56, 'a'))),
+              "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef797068"
+              "6ec6738a");
+    EXPECT_EQ(digest_hex(Sha256::digest(Bytes(64, 'a'))),
+              "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df"
+              "154668eb");
+}
+
+TEST(Sha256Kat, MidstateSaveResume)
+{
+    // Hashing [A|B] equals capturing the midstate after the 64-byte-
+    // aligned prefix A and resuming it in a different hasher.
+    Bytes a(128, 0x11);
+    Bytes b(77, 0x22);
+    Sha256 whole;
+    whole.update(a);
+    whole.update(b);
+
+    Sha256 prefix;
+    prefix.update(a);
+    Sha256Midstate m = prefix.midstate();
+    Sha256 resumed;
+    resumed.resume(m);
+    resumed.update(b);
+    EXPECT_EQ(whole.finish(), resumed.finish());
+
+    // The cached initial midstate is the empty-hash state.
+    Sha256 fresh;
+    fresh.resume(Sha256::initial_midstate());
+    fresh.update(b);
+    EXPECT_EQ(fresh.finish(), Sha256::digest(b));
+}
+
+TEST(HmacKat, Rfc4231Case4)
+{
+    Bytes key;
+    for (uint8_t b = 0x01; b <= 0x19; ++b) {
+        key.push_back(b);
+    }
+    Bytes data(50, 0xcd);
+    EXPECT_EQ(to_hex(hmac_sha256(key, data).data(), 32),
+              "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff4"
+              "6729665b");
+}
+
+TEST(HmacKat, Rfc4231Case7LongKeyLongData)
+{
+    Bytes key(131, 0xaa);
+    Bytes data = str_bytes(
+        "This is a test using a larger than block-size key and a "
+        "larger than block-size data. The key needs to be hashed "
+        "before being used by the HMAC algorithm.");
+    EXPECT_EQ(to_hex(hmac_sha256(key, data).data(), 32),
+              "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f5153"
+              "5c3a35e2");
+}
+
+TEST(HmacKat, HmacKeyMatchesOneShot)
+{
+    // The midstate-caching HmacKey must agree with the free function
+    // for short keys, exactly-block-size keys, and >64-byte keys
+    // (which are hashed down first), with midstates on and off.
+    bool saved = HmacKey::midstate_enabled();
+    for (bool midstate : {true, false}) {
+        HmacKey::set_midstate_enabled(midstate);
+        for (size_t key_len : {1u, 20u, 63u, 64u, 65u, 131u}) {
+            Bytes key(key_len, 0);
+            for (size_t i = 0; i < key_len; ++i) {
+                key[i] = static_cast<uint8_t>(i * 31 + 7);
+            }
+            HmacKey hk(key.data(), key.size());
+            for (size_t data_len : {0u, 1u, 50u, 64u, 200u}) {
+                Bytes data(data_len, 0);
+                for (size_t i = 0; i < data_len; ++i) {
+                    data[i] = static_cast<uint8_t>(i ^ key_len);
+                }
+                EXPECT_EQ(hk.mac(data),
+                          hmac_sha256(key.data(), key.size(),
+                                      data.data(), data.size()))
+                    << "midstate=" << midstate << " key=" << key_len
+                    << " data=" << data_len;
+            }
+        }
+    }
+    HmacKey::set_midstate_enabled(saved);
+}
+
+TEST(HmacKat, StreamingMatchesOneShot)
+{
+    Bytes key(32, 0x42);
+    HmacKey hk(key.data(), key.size());
+    Bytes part1(100, 0x01), part2(28, 0x02);
+    Sha256 inner = hk.begin();
+    inner.update(part1);
+    inner.update(part2);
+    Sha256Digest streamed = hk.finish(inner);
+
+    Bytes whole = part1;
+    whole.insert(whole.end(), part2.begin(), part2.end());
+    EXPECT_EQ(streamed, hk.mac(whole));
+}
+
 } // namespace
 } // namespace occlum::crypto

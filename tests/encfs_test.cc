@@ -233,6 +233,65 @@ TEST(EncFs, CacheHitsOnRepeatedReads)
     EXPECT_GT(h.fs.cache_hits(), 49u);
 }
 
+TEST(EncFs, EvictionsCountedUnderCachePressure)
+{
+    SimClock clock;
+    host::BlockDevice device(clock, 4096);
+    EncFs::Config config = FsHarness::make_config();
+    config.cache_blocks = 8;
+    config.readahead_blocks = 0;
+    EncFs fs(device, clock, config);
+    ASSERT_TRUE(fs.mkfs().ok());
+    uint64_t after_mkfs = fs.evictions();
+    // 64 data blocks through an 8-block cache must evict well over
+    // 64 - 8 times, and every evicted dirty block must survive the
+    // round trip back through the device.
+    Bytes data = pattern(64 * 4096, 21);
+    ASSERT_TRUE(fs.write_file("/big", data).ok());
+    EXPECT_GE(fs.evictions() - after_mkfs, 56u);
+    auto back = fs.read_file("/big");
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), data);
+}
+
+TEST(EncFs, ReadaheadWarmsCacheForSequentialReads)
+{
+    SimClock clock;
+    host::BlockDevice device(clock, 4096);
+    EncFs::Config config = FsHarness::make_config();
+    config.cache_blocks = 256;
+    config.readahead_blocks = 8;
+    EncFs fs(device, clock, config);
+    ASSERT_TRUE(fs.mkfs().ok());
+    // Exactly 10 blocks: after the stream is established at blocks
+    // 0-1, one prefetch (8 blocks, clamped to EOF) covers the whole
+    // remainder, so later iterations have nothing left to prefetch
+    // and the miss counter must stay flat.
+    Bytes data = pattern(10 * 4096, 22);
+    ASSERT_TRUE(fs.write_file("/seq", data).ok());
+    ASSERT_TRUE(fs.sync().ok());
+
+    // Remount so the cache is cold, then establish a sequential
+    // stream: the second read triggers a prefetch of the next 8 file
+    // blocks, so reading those blocks must be pure cache hits.
+    EncFs cold(device, clock, config);
+    ASSERT_TRUE(cold.mount().ok());
+    auto inode = cold.open_inode("/seq", false, false);
+    ASSERT_TRUE(inode.ok());
+    Bytes out(4096);
+    ASSERT_TRUE(cold.read(inode.value(), 0, out.data(), 4096).ok());
+    ASSERT_TRUE(cold.read(inode.value(), 4096, out.data(), 4096).ok());
+    uint64_t misses_before = cold.cache_misses();
+    for (uint64_t b = 2; b < 10; ++b) {
+        auto n = cold.read(inode.value(), b * 4096, out.data(), 4096);
+        ASSERT_TRUE(n.ok());
+        EXPECT_EQ(Bytes(data.begin() + b * 4096,
+                        data.begin() + (b + 1) * 4096),
+                  out);
+    }
+    EXPECT_EQ(cold.cache_misses(), misses_before);
+}
+
 TEST(EncFs, ChargesCryptoAndDiskCosts)
 {
     SimClock clock;

@@ -229,6 +229,89 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(7, 512, 4096)));
 
 // ---------------------------------------------------------------------
+// EncFs random-operation equivalence with a shadow file
+// ---------------------------------------------------------------------
+
+/** (cache_blocks, readahead_blocks) — stresses the eviction path with
+ *  a 1-block cache and the prefetch path with readahead on. */
+class EncFsRandomOps
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>>
+{
+};
+
+TEST_P(EncFsRandomOps, MatchesShadowFile)
+{
+    auto [cache_blocks, readahead] = GetParam();
+    constexpr uint64_t kMaxSize = 256 * 1024;
+    constexpr uint64_t kMaxIo = 10000; // spans multiple blocks
+    constexpr int kOps = 300;
+
+    SimClock clock;
+    host::BlockDevice device(clock, 4096);
+    libos::EncFs::Config config;
+    config.key[0] = 77;
+    config.cache_blocks = cache_blocks;
+    config.readahead_blocks = readahead;
+    libos::EncFs fs(device, clock, config);
+    ASSERT_TRUE(fs.mkfs().ok());
+    auto inode = fs.open_inode("/rand", true, false);
+    ASSERT_TRUE(inode.ok());
+
+    Bytes shadow; // what the file must logically contain
+    Rng rng(cache_blocks * 1000003 + readahead * 131 + 5);
+    for (int op = 0; op < kOps; ++op) {
+        uint64_t kind = rng.next() % 10;
+        uint64_t off = rng.next() % kMaxSize;
+        uint64_t len = 1 + rng.next() % kMaxIo;
+        if (kind < 4) { // write random bytes (may extend, may hole-fill)
+            Bytes data(len);
+            for (auto &b : data) {
+                b = static_cast<uint8_t>(rng.next());
+            }
+            auto n = fs.write(inode.value(), off, data.data(), len);
+            ASSERT_TRUE(n.ok());
+            ASSERT_EQ(n.value(), static_cast<int64_t>(len));
+            if (off + len > shadow.size()) {
+                shadow.resize(off + len, 0); // implicit hole = zeros
+            }
+            std::copy(data.begin(), data.end(), shadow.begin() + off);
+        } else if (kind < 9) { // read, pread-style short at EOF
+            Bytes out(len);
+            auto n = fs.read(inode.value(), off, out.data(), len);
+            ASSERT_TRUE(n.ok());
+            uint64_t expect =
+                off >= shadow.size()
+                    ? 0
+                    : std::min<uint64_t>(len, shadow.size() - off);
+            ASSERT_EQ(n.value(), static_cast<int64_t>(expect));
+            for (uint64_t i = 0; i < expect; ++i) {
+                ASSERT_EQ(out[i], shadow[off + i]) << "op " << op;
+            }
+        } else { // flush everything to the device
+            ASSERT_TRUE(fs.sync().ok());
+        }
+    }
+
+    auto size = fs.file_size(inode.value());
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(size.value(), shadow.size());
+    ASSERT_TRUE(fs.sync().ok());
+
+    // Remount from the device: everything must have hit persistent
+    // storage with valid MACs and still equal the shadow.
+    libos::EncFs fs2(device, clock, config);
+    ASSERT_TRUE(fs2.mount().ok());
+    auto back = fs2.read_file("/rand");
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), shadow);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CacheShapes, EncFsRandomOps,
+    ::testing::Combine(::testing::Values(1, 2, 2048),
+                       ::testing::Values(0, 8)));
+
+// ---------------------------------------------------------------------
 // Mutation robustness
 // ---------------------------------------------------------------------
 
