@@ -23,9 +23,11 @@
 #include "bench/bench_util.h"
 
 #include <chrono>
+#include <memory>
 
 #include "crypto/aes.h"
 #include "crypto/hmac.h"
+#include "faultsim/faultsim.h"
 #include "libos/encfs.h"
 #include "trace/trace.h"
 #include "vm/cpu.h"
@@ -200,6 +202,101 @@ measure_encfs_crypto(bool ttable, bool midstate, size_t readahead,
     return best;
 }
 
+struct FaultsimMeasure {
+    uint64_t sim_cycles = 0;
+    double wall_ms = 0.0;
+    uint64_t checks = 0; // injection-site checks consulted per rep
+};
+
+/**
+ * Best-of-N run of a mixed workload — the spec kernel under the
+ * baseline kernel, then a 256 KiB EncFs stream (write, sync, read
+ * back) that drives the block-device injection sites — with faultsim
+ * either fully idle (no plan) or armed with an all-zero plan. An
+ * armed-but-quiet plan walks every check and burns RNG draws but
+ * never fires, so the simulated cycle count must be bit-identical to
+ * the idle run (asserted in main); the wall-clock delta is the true
+ * cost of the checks themselves.
+ */
+FaultsimMeasure
+measure_faultsim(const oelf::Image &image, bool armed, int reps)
+{
+    constexpr uint64_t kChunk = 4096;
+    constexpr uint64_t kTotal = 256 * 1024;
+
+    FaultsimMeasure best;
+    best.wall_ms = 1e18;
+    for (int i = 0; i < reps; ++i) {
+        std::unique_ptr<faultsim::ScopedFaultPlan> plan;
+        if (armed) {
+            plan = std::make_unique<faultsim::ScopedFaultPlan>(
+                faultsim::FaultPlan{}); // all zero: checks, no fires
+        } else {
+            faultsim::FaultSim::instance().clear();
+        }
+        uint64_t checks0 = 0;
+        for (size_t s = 0; s < faultsim::kSiteCount; ++s) {
+            checks0 += faultsim::FaultSim::instance().checks(
+                static_cast<faultsim::Site>(s));
+        }
+
+        SimClock clock;
+        host::HostFileStore files;
+        files.put("k", image.serialize());
+        baseline::LinuxSystem sys(clock, files);
+
+        host::BlockDevice device(clock, 1 << 11);
+        libos::EncFs::Config config;
+        for (size_t k = 0; k < config.key.size(); ++k) {
+            config.key[k] = static_cast<uint8_t>(k * 5 + 3);
+        }
+        config.cache_blocks = 32;
+        libos::EncFs fs(device, clock, config);
+
+        Bytes chunk(kChunk);
+        for (size_t k = 0; k < chunk.size(); ++k) {
+            chunk[k] = static_cast<uint8_t>(k * 13 + 1);
+        }
+
+        auto t0 = std::chrono::steady_clock::now();
+        auto pid = sys.spawn("k", {"k"});
+        OCC_CHECK(pid.ok());
+        uint64_t after_spawn = clock.cycles();
+        sys.run();
+        OCC_CHECK(sys.exit_code(pid.value()).ok());
+
+        OCC_CHECK(fs.mkfs().ok());
+        auto inode = fs.open_inode("/stream", true, false);
+        OCC_CHECK(inode.ok());
+        for (uint64_t off = 0; off < kTotal; off += kChunk) {
+            auto n = fs.write(inode.value(), off, chunk.data(), kChunk);
+            OCC_CHECK(n.ok() && n.value() == static_cast<int64_t>(kChunk));
+        }
+        OCC_CHECK(fs.sync().ok());
+        Bytes back(kChunk);
+        for (uint64_t off = 0; off < kTotal; off += kChunk) {
+            auto n = fs.read(inode.value(), off, back.data(), kChunk);
+            OCC_CHECK(n.ok() && n.value() == static_cast<int64_t>(kChunk));
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        OCC_CHECK(back == chunk);
+
+        uint64_t checks1 = 0;
+        for (size_t s = 0; s < faultsim::kSiteCount; ++s) {
+            checks1 += faultsim::FaultSim::instance().checks(
+                static_cast<faultsim::Site>(s));
+        }
+        uint64_t sim = clock.cycles() - after_spawn;
+        OCC_CHECK(best.sim_cycles == 0 || best.sim_cycles == sim);
+        best.sim_cycles = sim;
+        best.checks = checks1 - checks0;
+        double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        best.wall_ms = std::min(best.wall_ms, ms);
+    }
+    return best;
+}
+
 } // namespace
 
 int
@@ -371,6 +468,44 @@ main()
     std::printf("simulated-cycle delta: 0 across all four configurations "
                 "(asserted)\n");
 
+    // ---- faultsim ablation -------------------------------------------
+    // The fault-injection harness compiled in but idle vs armed with an
+    // all-zero plan. Idle checks are a single predicted branch; an
+    // armed-but-quiet plan walks every check and burns RNG draws but
+    // never fires. Neither may touch the SimClock, so the simulated
+    // cycle counts must be bit-identical (asserted) — the no-faults
+    // determinism guarantee the crash monkey's replays depend on.
+    FaultsimMeasure fault_idle = measure_faultsim(out.value().image,
+                                                  false, kReps);
+    FaultsimMeasure fault_armed = measure_faultsim(out.value().image,
+                                                   true, kReps);
+    OCC_CHECK_MSG(fault_idle.sim_cycles == fault_armed.sim_cycles,
+                  "an armed-but-quiet fault plan must not perturb "
+                  "simulated cycles");
+    OCC_CHECK_MSG(fault_armed.checks > 0,
+                  "the armed run must actually consult injection sites");
+    double fault_overhead = fault_idle.wall_ms > 0
+                                ? fault_armed.wall_ms / fault_idle.wall_ms -
+                                      1.0
+                                : 0.0;
+
+    Table fault_table("Ablation: fault-injection harness "
+                      "(kernel + EncFs stream)");
+    fault_table.set_header({"faultsim", "sim Mcycles", "site checks",
+                            "wall ms (best)", "wall overhead"});
+    fault_table.add_row({"idle (no plan)",
+                         format("%.2f", fault_idle.sim_cycles / 1e6),
+                         std::to_string(fault_idle.checks),
+                         format("%.2f", fault_idle.wall_ms), "baseline"});
+    fault_table.add_row({"armed, all-zero plan",
+                         format("%.2f", fault_armed.sim_cycles / 1e6),
+                         std::to_string(fault_armed.checks),
+                         format("%.2f", fault_armed.wall_ms),
+                         format("%+.1f%%", 100 * fault_overhead)});
+    fault_table.print();
+    std::printf("simulated-cycle delta: 0 (identical by construction; "
+                "asserted)\n");
+
     bench::JsonReport report("ablation_optimizations");
     report.add("TOTAL", "cycles_naive_m", total_naive / 1e6);
     report.add("TOTAL", "cycles_optimized_m", total_opt / 1e6);
@@ -399,6 +534,15 @@ main()
                    static_cast<double>(crypto_measures[i].sim_cycles -
                                        crypto_measures[0].sim_cycles));
     }
+    report.add("faultsim_idle", "wall_ms", fault_idle.wall_ms);
+    report.add("faultsim_armed", "wall_ms", fault_armed.wall_ms);
+    report.add("faultsim_armed", "site_checks",
+               static_cast<double>(fault_armed.checks));
+    report.add("faultsim_armed", "wall_overhead_pct",
+               100 * fault_overhead);
+    report.add("faultsim_armed", "sim_cycle_delta",
+               static_cast<double>(fault_armed.sim_cycles -
+                                   fault_idle.sim_cycles));
     report.write();
     return 0;
 }

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# CI job: run the tier-1 test suite under fixed fault-injection plans
+# (OCCLUM_FAULT_PLAN, parsed by src/faultsim on first use). Each plan
+# is fully seeded, so a failure here replays exactly from the plan
+# string alone. Three axes:
+#
+#   plan 1: an AEX storm — every SIP instruction stream is interrupted
+#           every 4096 instructions, exercising SSA save/scrub/restore
+#           (bound registers included) under every existing test,
+#   plan 2: flaky block device — 2% transient EAGAIN faults on reads
+#           and writes, absorbed by EncFs's bounded retry/backoff,
+#   plan 3: lossy network — 5% segment loss, 5% duplicates, frequent
+#           short reads, absorbed by netsim's retransmission model.
+#
+# Plan 1 additionally runs under ASan+UBSan: an injected AEX touches
+# the SSA snapshot path on every quantum, the place a lifetime bug
+# would hide.
+#
+# Usage: scripts/ci_faults.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+PLANS=(
+    "seed=101;aex_every=4096"
+    "seed=202;dev_read_transient=0.02;dev_write_transient=0.02"
+    "seed=303;net_drop=0.05;net_dup=0.05;net_short_read=0.25"
+)
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+for plan in "${PLANS[@]}"; do
+    echo "=== tier-1 under OCCLUM_FAULT_PLAN='$plan' ==="
+    OCCLUM_FAULT_PLAN="$plan" \
+        ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+done
+
+# The AEX-storm plan again, under the sanitizers.
+ASAN_DIR="${BUILD_DIR}-asan-faults"
+cmake -B "$ASAN_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DOCCLUM_SANITIZE=address,undefined
+cmake --build "$ASAN_DIR" -j "$(nproc)"
+
+export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1:detect_stack_use_after_return=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+echo "=== tier-1 + ASan under OCCLUM_FAULT_PLAN='${PLANS[0]}' ==="
+OCCLUM_FAULT_PLAN="${PLANS[0]}" \
+    ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$(nproc)"

@@ -120,6 +120,23 @@ struct CostModel {
     /** Serializing + transferring process state at checkpoint/restore. */
     static constexpr double kEipStateTransferCyclesPerByte = 4.0;
 
+    // ---- Fault handling (src/faultsim; DESIGN.md "Fault model") ---------
+    /**
+     * Bounded retries after a transient (EAGAIN-shaped) host I/O
+     * fault: the first attempt plus up to this many retries, then the
+     * error is surfaced as EIO. Small because each retry re-pays the
+     * OCALL round trip.
+     */
+    static constexpr uint32_t kIoRetryLimit = 3;
+    /** Backoff charged before the first retry; doubles per retry. */
+    static constexpr uint64_t kIoRetryBackoffCycles = 8'000;
+    /**
+     * Extra delay when the network drops a segment: the sender's
+     * retransmission timer, ~2 RTTs (an RTT-estimator's floor on a
+     * quiet LAN). Only charged under injected loss.
+     */
+    static constexpr uint64_t kNetRetransmitCycles = 2 * kNetRttCycles;
+
     /** Convert a byte count to whole 4 KiB pages (rounding up). */
     static constexpr uint64_t
     pages_for(uint64_t bytes)

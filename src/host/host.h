@@ -11,6 +11,7 @@
 #ifndef OCCLUM_HOST_HOST_H
 #define OCCLUM_HOST_HOST_H
 
+#include <algorithm>
 #include <deque>
 #include <map>
 #include <memory>
@@ -21,6 +22,7 @@
 #include "base/cost_model.h"
 #include "base/result.h"
 #include "base/sim_clock.h"
+#include "faultsim/faultsim.h"
 
 namespace occlum::host {
 
@@ -90,6 +92,19 @@ class BlockDevice
         if (index >= blocks_.size()) {
             return Status(ErrorCode::kInval, "block index out of range");
         }
+        switch (faultsim::FaultSim::instance().dev_read_fault()) {
+          case faultsim::DevFault::kTransient:
+            // The request reached the device and bounced: pay the
+            // submission overhead, move no data. kAgain = retryable.
+            clock_->advance(CostModel::kDiskRequestCycles);
+            return Status(ErrorCode::kAgain,
+                          "transient read fault (injected)");
+          case faultsim::DevFault::kHard:
+            clock_->advance(CostModel::kDiskRequestCycles);
+            return Status(ErrorCode::kIo, "read fault (injected)");
+          default:
+            break;
+        }
         charge_read(kBlockSize);
         if (blocks_[index].empty()) {
             out.assign(kBlockSize, 0);
@@ -104,6 +119,39 @@ class BlockDevice
     {
         if (index >= blocks_.size() || in.size() != kBlockSize) {
             return Status(ErrorCode::kInval, "bad block write");
+        }
+        faultsim::FaultSim &faults = faultsim::FaultSim::instance();
+        switch (faults.dev_write_fault()) {
+          case faultsim::DevFault::kTransient:
+            clock_->advance(CostModel::kDiskRequestCycles);
+            return Status(ErrorCode::kAgain,
+                          "transient write fault (injected)");
+          case faultsim::DevFault::kHard:
+            clock_->advance(CostModel::kDiskRequestCycles);
+            return Status(ErrorCode::kIo, "write fault (injected)");
+          case faultsim::DevFault::kTorn: {
+            // Power-cut mid-write: the first half lands, the tail
+            // keeps the old content — and the host reports success,
+            // exactly the lie a real disk tells without a barrier.
+            charge_write(kBlockSize);
+            Bytes &block = blocks_[index];
+            if (block.empty()) {
+                block.assign(kBlockSize, 0);
+            }
+            std::copy(in.begin(), in.begin() + kBlockSize / 2,
+                      block.begin());
+            return Status();
+          }
+          case faultsim::DevFault::kCorrupt:
+            // Reported success, flipped bits at rest: the attack /
+            // rot case EncFs MACs exist to catch.
+            charge_write(kBlockSize);
+            blocks_[index] = in;
+            faults.scramble(blocks_[index].data(),
+                            blocks_[index].size());
+            return Status();
+          case faultsim::DevFault::kNone:
+            break;
         }
         charge_write(kBlockSize);
         blocks_[index] = in;

@@ -89,12 +89,27 @@ NetSim::send(Connection *conn, bool from_server, const uint8_t *data,
     // max(now, busy_until); it lands half an RTT after it finishes.
     static trace::Counter *ctr = &net_counter("net.bytes_sent");
     ctr->add(len);
+    faultsim::FaultSim &faults = faultsim::FaultSim::instance();
     uint64_t start = std::max(clock_->cycles(), link_busy_until_);
     uint64_t transfer =
         static_cast<uint64_t>(len * CostModel::kNetCyclesPerByte);
+    if (faults.net_drop_fires()) {
+        // Segment loss under reliable-stream semantics: the first
+        // transmission still burned the link, the sender retransmits
+        // after its timeout, and the payload arrives late — loss is
+        // a latency/bandwidth tax, never missing bytes.
+        link_busy_until_ = start + transfer;
+        start = link_busy_until_ + CostModel::kNetRetransmitCycles;
+    }
     link_busy_until_ = start + transfer;
     uint64_t arrival =
         link_busy_until_ + CostModel::kNetRttCycles / 2;
+    if (faults.net_dup_fires()) {
+        // Spurious retransmit: the duplicate occupies the link; the
+        // receiver's sequence numbers discard it, so it is visible
+        // only as delay for whatever sends next.
+        link_busy_until_ += transfer;
+    }
 
     Chunk chunk;
     chunk.data.assign(data, data + len);
@@ -113,6 +128,12 @@ NetSim::recv(Connection *conn, bool at_server, uint8_t *out, size_t cap,
         queue.front().arrival_cycles > now_cycles) {
         // Report the pending arrival even for zero-capacity probes.
         next_arrival = queue.front().arrival_cycles;
+    }
+    if (!queue.empty()) {
+        // Short read: the NIC hands over less than asked. Capacity
+        // never drops below 1 byte, so a looping reader always makes
+        // progress (no livelock against the retry machinery).
+        cap = faultsim::FaultSim::instance().net_recv_cap(cap);
     }
     size_t total = 0;
     while (total < cap && !queue.empty()) {

@@ -59,6 +59,59 @@ EncFs::EncFs(host::BlockDevice &device, SimClock &clock, Config config)
     ctr_dev_writes_ = &registry.counter("encfs.dev_writes");
     ctr_evictions_ = &registry.counter("encfs.evictions");
     ctr_readahead_ = &registry.counter("encfs.readahead_blocks");
+    ctr_io_retries_ = &registry.counter("encfs.io_retries");
+}
+
+// ---------------------------------------------------------------------
+// device layer (bounded retry/backoff, DESIGN.md "Fault model")
+// ---------------------------------------------------------------------
+
+Status
+EncFs::dev_read(uint32_t block, Bytes &out)
+{
+    OCC_TRACE_SPAN(kOcall, "encfs.dev_read", block);
+    ctr_dev_reads_->add();
+    uint64_t backoff = CostModel::kIoRetryBackoffCycles;
+    for (uint32_t attempt = 0;; ++attempt) {
+        Status status = device_->read_block(block, out);
+        charge_ocall();
+        if (status.ok() || status.code() != ErrorCode::kAgain) {
+            return status;
+        }
+        if (attempt == CostModel::kIoRetryLimit) {
+            return Status(ErrorCode::kIo,
+                          "EncFs: device read still failing after " +
+                              std::to_string(attempt) + " retries");
+        }
+        // Transient host fault: back off (charged to the shared
+        // clock) and re-issue the OCALL.
+        ctr_io_retries_->add();
+        clock_->advance(backoff);
+        backoff *= 2;
+    }
+}
+
+Status
+EncFs::dev_write(uint32_t block, const Bytes &in)
+{
+    OCC_TRACE_SPAN(kOcall, "encfs.dev_write", block);
+    ctr_dev_writes_->add();
+    uint64_t backoff = CostModel::kIoRetryBackoffCycles;
+    for (uint32_t attempt = 0;; ++attempt) {
+        Status status = device_->write_block(block, in);
+        charge_ocall();
+        if (status.ok() || status.code() != ErrorCode::kAgain) {
+            return status;
+        }
+        if (attempt == CostModel::kIoRetryLimit) {
+            return Status(ErrorCode::kIo,
+                          "EncFs: device write still failing after " +
+                              std::to_string(attempt) + " retries");
+        }
+        ctr_io_retries_->add();
+        clock_->advance(backoff);
+        backoff *= 2;
+    }
 }
 
 void
@@ -146,12 +199,7 @@ EncFs::load_mac_table()
     uint32_t records_per_block = kBlockSize / kMacRecordSize;
     for (uint32_t mb = 0; mb < mac_blocks_; ++mb) {
         Bytes raw;
-        {
-            OCC_TRACE_SPAN(kOcall, "encfs.dev_read", mb);
-            ctr_dev_reads_->add();
-            OCC_RETURN_IF_ERROR(device_->read_block(mb, raw));
-            charge_ocall();
-        }
+        OCC_RETURN_IF_ERROR(dev_read(mb, raw));
         for (uint32_t r = 0; r < records_per_block; ++r) {
             uint64_t index =
                 static_cast<uint64_t>(mb) * records_per_block + r +
@@ -190,12 +238,7 @@ EncFs::flush_mac_table()
             std::memcpy(rec, mac_table_[index].mac.data(), 32);
             set_le<uint64_t>(rec + 32, mac_table_[index].counter);
         }
-        {
-            OCC_TRACE_SPAN(kOcall, "encfs.dev_write", mb);
-            ctr_dev_writes_->add();
-            OCC_RETURN_IF_ERROR(device_->write_block(mb, raw));
-            charge_ocall();
-        }
+        OCC_RETURN_IF_ERROR(dev_write(mb, raw));
         mac_block_dirty_[mb] = false;
     }
     return Status();
@@ -235,12 +278,7 @@ EncFs::get_block(uint32_t block, bool for_write)
         entry.data.assign(kBlockSize, 0);
     } else {
         Bytes ciphertext;
-        {
-            OCC_TRACE_SPAN(kOcall, "encfs.dev_read", block);
-            ctr_dev_reads_->add();
-            OCC_RETURN_IF_ERROR(device_->read_block(block, ciphertext));
-            charge_ocall();
-        }
+        OCC_RETURN_IF_ERROR(dev_read(block, ciphertext));
         bool ok = decrypt_verify(block, record, ciphertext, entry.data);
         charge_crypto(kBlockSize);
         if (!ok) {
@@ -263,16 +301,23 @@ EncFs::flush_entry(uint32_t block, CacheEntry &entry)
         return Status();
     }
     MacRecord &record = mac_table_[block];
+    const MacRecord saved = record;
     ++record.counter;
     Bytes ciphertext;
     record.mac = encrypt_mac(block, record.counter, entry.data,
                              ciphertext);
     charge_crypto(kBlockSize);
-    {
-        OCC_TRACE_SPAN(kOcall, "encfs.dev_write", block);
-        ctr_dev_writes_->add();
-        OCC_RETURN_IF_ERROR(device_->write_block(block, ciphertext));
-        charge_ocall();
+    Status wrote = dev_write(block, ciphertext);
+    if (!wrote.ok()) {
+        // The device still holds the old ciphertext: roll the MAC
+        // record back so an uncached re-read of this block still
+        // verifies against what is actually on disk, leave the entry
+        // dirty so the data survives for a later sync, and surface
+        // the error. (Previously the counter/MAC advanced before the
+        // write with no rollback: one failed flush left the in-memory
+        // MAC table disagreeing with the device forever.)
+        record = saved;
+        return wrote;
     }
     uint32_t records_per_block = kBlockSize / kMacRecordSize;
     mac_block_dirty_[(block - mac_blocks_) / records_per_block] = true;

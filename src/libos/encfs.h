@@ -137,6 +137,17 @@ class EncFs
         std::list<uint32_t>::iterator lru_it;
     };
 
+    // ---- device layer --------------------------------------------------
+    /**
+     * Device I/O with a bounded retry/backoff policy: a transient
+     * (kAgain) host fault is retried up to CostModel::kIoRetryLimit
+     * times with exponential backoff charged to the clock; exhausted
+     * retries surface as kIo. Every attempt pays its own OCALL. All
+     * EncFs device traffic goes through these two wrappers.
+     */
+    Status dev_read(uint32_t block, Bytes &out);
+    Status dev_write(uint32_t block, const Bytes &in);
+
     // ---- block layer ---------------------------------------------------
     /** Fetch a payload block through the page cache (decrypt+verify). */
     Result<Bytes *> get_block(uint32_t block, bool for_write);
@@ -236,6 +247,7 @@ class EncFs
     trace::Counter *ctr_dev_writes_ = nullptr;
     trace::Counter *ctr_evictions_ = nullptr;
     trace::Counter *ctr_readahead_ = nullptr;
+    trace::Counter *ctr_io_retries_ = nullptr;
 };
 
 } // namespace occlum::libos

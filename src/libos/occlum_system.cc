@@ -1,6 +1,7 @@
 #include "libos/occlum_system.h"
 
 #include "base/log.h"
+#include "faultsim/faultsim.h"
 #include "isa/isa.h"
 #include "oskit/loader.h"
 #include "trace/trace.h"
@@ -145,35 +146,61 @@ OcclumSystem::OcclumSystem(sgx::Platform &platform,
 
     // Preallocate every domain slot before EINIT (SGX 1.0, paper §6):
     // trampoline+code executable, data writable, guards unmapped.
+    // EPC exhaustion (the real machine's or faultsim's) degrades the
+    // slot count instead of aborting: a partially-added slot is never
+    // pushed (an unmapped hole inside a SIP region would fault the
+    // loader much later, far from the cause).
     for (int s = 0; s < config_.num_slots; ++s) {
         Slot slot;
         slot.base = config_.enclave_base + s * span;
         uint64_t code_len = oelf::kTrampSize + config_.slot_code_size;
-        OCC_CHECK(enclave_
-                      ->add_pages(slot.base, code_len, vm::kPermRX)
-                      .ok());
-        uint64_t data_base =
-            slot.base + code_len + oelf::kGuardSize;
-        OCC_CHECK(enclave_
-                      ->add_pages(data_base, config_.slot_data_size,
-                                  vm::kPermRW)
-                      .ok());
+        Status added =
+            enclave_->add_pages(slot.base, code_len, vm::kPermRX);
+        if (added.ok()) {
+            uint64_t data_base =
+                slot.base + code_len + oelf::kGuardSize;
+            added = enclave_->add_pages(
+                data_base, config_.slot_data_size, vm::kPermRW);
+        }
+        if (!added.ok()) {
+            OCC_WARN("EPC exhausted after "
+                     << slots_.size() << "/" << config_.num_slots
+                     << " domain slots: " << added.error().message);
+            break;
+        }
         slots_.push_back(slot);
     }
+    OCC_CHECK_MSG(!slots_.empty(),
+                  "EPC cannot hold even one domain slot");
     OCC_CHECK(enclave_->init().ok());
 
-    // The encrypted FS over an untrusted host block device.
-    device_ = std::make_unique<host::BlockDevice>(platform.clock(),
-                                                  config_.fs_blocks);
+    // The encrypted FS over an untrusted host block device. A
+    // restarted system mounts the predecessor's external device
+    // instead of formatting a fresh one.
+    if (config_.external_device != nullptr) {
+        active_device_ = config_.external_device;
+    } else {
+        device_ = std::make_unique<host::BlockDevice>(
+            platform.clock(), config_.fs_blocks);
+        active_device_ = device_.get();
+    }
     EncFs::Config fs_config;
     fs_config.key = config_.fs_key;
     fs_config.cache_blocks = config_.fs_cache_blocks;
     fs_config.readahead_blocks = config_.fs_readahead_blocks;
     fs_config.ocall_cycles =
         CostModel::kEexitCycles + CostModel::kEenterCycles;
-    encfs_ = std::make_unique<EncFs>(*device_, platform.clock(),
+    encfs_ = std::make_unique<EncFs>(*active_device_, platform.clock(),
                                      fs_config);
-    OCC_CHECK(encfs_->mkfs().ok());
+    fs_status_ =
+        config_.format_device ? encfs_->mkfs() : encfs_->mount();
+    if (!fs_status_.ok()) {
+        // A torn superblock write must not abort the whole enclave;
+        // the system comes up with the FS unusable and fs_status()
+        // says why.
+        OCC_WARN("EncFs " << (config_.format_device ? "mkfs" : "mount")
+                          << " failed: " << fs_status_.error().message);
+    }
 }
 
 int
@@ -362,6 +389,25 @@ OcclumSystem::fs_open(oskit::Process &proc, const std::string &path,
     }
     return oskit::FilePtr(
         std::make_shared<EncFile>(encfs_.get(), inode.value(), flags));
+}
+
+void
+OcclumSystem::on_injected_aex(oskit::Process &proc)
+{
+    OCC_TRACE_SPAN(kSgx, "sgx.injected_aex",
+                   static_cast<uint64_t>(proc.pid));
+    // Bind a transient TCS to the interrupted SIP's CPU: try_aex()
+    // snapshots the state into the SSA and clobbers the live
+    // registers (as the hardware scrubs them on an exit), resume()
+    // restores the snapshot. If the SSA round trip dropped anything —
+    // a bound register, flags — the SIP resumes corrupted and the
+    // AEX-storm transparency tests catch it.
+    sgx::SgxThread thread(*enclave_, *proc.cpu);
+    if (!thread.try_aex()) {
+        return; // already in an AEX (NSSA=1) — cannot nest
+    }
+    thread.resume();
+    faultsim::FaultSim::instance().count_injected_aex();
 }
 
 Status

@@ -95,6 +95,14 @@ class OcclumSystem : public oskit::Kernel
         size_t fs_cache_blocks = 2048;
         /** EncFs sequential readahead depth (0 disables). */
         size_t fs_readahead_blocks = 8;
+        /**
+         * Mount this (persistent) device instead of creating a fresh
+         * one — how a restarted system finds the data its predecessor
+         * wrote. Not owned; must outlive the system.
+         */
+        host::BlockDevice *external_device = nullptr;
+        /** mkfs the device (true) or mount what is on it (false). */
+        bool format_device = true;
     };
 
     OcclumSystem(sgx::Platform &platform, host::HostFileStore &binaries,
@@ -102,8 +110,15 @@ class OcclumSystem : public oskit::Kernel
 
     EncFs &fs() { return *encfs_; }
     sgx::Enclave &enclave() { return *enclave_; }
-    host::BlockDevice &device() { return *device_; }
+    host::BlockDevice &device() { return *active_device_; }
     const Config &config() const { return config_; }
+
+    /**
+     * Result of the constructor's mkfs/mount. A remount of a device
+     * an injected fault corrupted must fail *cleanly* (kIo here, FS
+     * operations erroring) rather than abort the enclave.
+     */
+    const Status &fs_status() const { return fs_status_; }
 
     /** Slots currently free (for tests / capacity checks). */
     int free_slots() const;
@@ -136,6 +151,14 @@ class OcclumSystem : public oskit::Kernel
     Status validate_user_range(oskit::Process &proc, uint64_t addr,
                                uint64_t len) override;
 
+    /**
+     * Injected asynchronous enclave exit (src/faultsim, aex_every):
+     * save the interrupted SIP's state to the SSA, scrub the live
+     * registers as the hardware would, and ERESUME — a genuine
+     * round trip, so a broken SSA save/restore corrupts the SIP.
+     */
+    void on_injected_aex(oskit::Process &proc) override;
+
     uint64_t
     mmap_zero_cost(uint64_t len) const override
     {
@@ -156,7 +179,10 @@ class OcclumSystem : public oskit::Kernel
     Config config_;
     std::unique_ptr<sgx::Enclave> enclave_;
     std::unique_ptr<host::BlockDevice> device_;
+    /** The device in use: owned device_ or config.external_device. */
+    host::BlockDevice *active_device_ = nullptr;
     std::unique_ptr<EncFs> encfs_;
+    Status fs_status_;
     std::vector<Slot> slots_;
     uint32_t next_domain_id_ = 1;
 };

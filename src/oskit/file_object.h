@@ -97,6 +97,14 @@ class FileObject
     virtual void on_fd_acquire() {}
     /** Called when an fd referencing this object is closed. */
     virtual void on_fd_release(Kernel &kernel) { (void)kernel; }
+
+    /**
+     * Does -EPIPE from write() carry the default-fatal SIGPIPE
+     * semantics? True for pipes (the kernel kills the writer, as
+     * POSIX's default disposition does); false for objects where
+     * EPIPE is an ordinary error return.
+     */
+    virtual bool epipe_kills() const { return false; }
 };
 
 using FilePtr = std::shared_ptr<FileObject>;
@@ -144,6 +152,7 @@ class PipeEnd : public FileObject
 
     bool is_read_end() const { return read_end_; }
     Pipe &pipe() { return *pipe_; }
+    bool epipe_kills() const override { return true; }
 
   private:
     std::shared_ptr<Pipe> pipe_;

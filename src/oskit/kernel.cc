@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/log.h"
+#include "faultsim/faultsim.h"
 #include "trace/trace.h"
 
 namespace occlum::oskit {
@@ -39,7 +40,18 @@ Status
 Kernel::copy_from_user(Process &proc, uint64_t addr, void *out,
                        uint64_t len)
 {
+    if (len == 0) {
+        return Status();
+    }
     OCC_RETURN_IF_ERROR(validate_user_range(proc, addr, len));
+    // All-or-nothing: probe the whole range before touching a byte.
+    // A personality's validate override may only check region bounds
+    // (Occlum checks [d_begin, d_end)), and the raw accessors fault
+    // mid-copy at the first unmapped page — which for copies *out*
+    // would leave a half-filled kernel buffer treated as valid.
+    if (addr + len < addr || !proc.space->is_mapped(addr, len)) {
+        return Status(ErrorCode::kFault, "copy_from_user: unmapped");
+    }
     if (proc.space->read_raw(addr, out, len) != vm::AccessFault::kNone) {
         return Status(ErrorCode::kFault, "copy_from_user fault");
     }
@@ -50,7 +62,18 @@ Status
 Kernel::copy_to_user(Process &proc, uint64_t addr, const void *in,
                      uint64_t len)
 {
+    if (len == 0) {
+        return Status();
+    }
     OCC_RETURN_IF_ERROR(validate_user_range(proc, addr, len));
+    // All-or-nothing: a multi-page write_raw modifies every page up
+    // to the first unmapped one before faulting, so without this
+    // probe a syscall that returns EFAULT would still have partially
+    // scribbled over user memory (observable page-boundary partial
+    // copies — found by the faultsim crash-monkey).
+    if (addr + len < addr || !proc.space->is_mapped(addr, len)) {
+        return Status(ErrorCode::kFault, "copy_to_user: unmapped");
+    }
     if (proc.space->write_raw(addr, in, len) != vm::AccessFault::kNone) {
         return Status(ErrorCode::kFault, "copy_to_user fault");
     }
@@ -71,14 +94,41 @@ Kernel::read_user_string(Process &proc, uint64_t addr, uint64_t len)
 Result<std::string>
 Kernel::read_user_cstring(Process &proc, uint64_t addr, uint64_t max_len)
 {
+    // Clamp: a hostile max_len must not become an unbounded kernel
+    // loop or allocation (same ceiling as read_user_string; the old
+    // code trusted the caller's bound unchecked).
+    max_len = std::min<uint64_t>(max_len, 65536);
     std::string out;
-    for (uint64_t i = 0; i < max_len; ++i) {
-        char c = 0;
-        OCC_RETURN_IF_ERROR(copy_from_user(proc, addr + i, &c, 1));
-        if (c == '\0') {
-            return out;
+    char buf[256];
+    uint64_t pos = addr;
+    while (out.size() < max_len) {
+        // Chunked, never crossing a page boundary in one probe.
+        uint64_t chunk = std::min<uint64_t>(
+            std::min<uint64_t>(max_len - out.size(), sizeof(buf)),
+            vm::kPageSize - (pos & vm::kPageMask));
+        if (copy_from_user(proc, pos, buf, chunk).ok()) {
+            for (uint64_t i = 0; i < chunk; ++i) {
+                if (buf[i] == '\0') {
+                    out.append(buf, i);
+                    return out;
+                }
+            }
+            out.append(buf, chunk);
+            pos += chunk;
+            continue;
         }
-        out.push_back(c);
+        // The full chunk is not accessible (region edge, unmapped
+        // tail): fall back to byte-at-a-time, which preserves the
+        // semantics that bytes past the terminator need not exist.
+        for (uint64_t i = 0; i < chunk && out.size() < max_len; ++i) {
+            char c = 0;
+            OCC_RETURN_IF_ERROR(copy_from_user(proc, pos + i, &c, 1));
+            if (c == '\0') {
+                return out;
+            }
+            out.push_back(c);
+        }
+        pos += chunk;
     }
     return Error(ErrorCode::kNameTooLong, "unterminated string");
 }
@@ -229,6 +279,44 @@ Kernel::next_wake_time() const
 // scheduler
 // ---------------------------------------------------------------------
 
+vm::CpuExit
+Kernel::run_user_quantum(Process &proc)
+{
+    uint64_t period = faultsim::FaultSim::instance().aex_period();
+    if (period == 0) {
+        // Idle path: must stay literally the pre-faultsim code so the
+        // simulated cycle stream is bit-identical when no plan is set.
+        return proc.cpu->run(quantum_);
+    }
+    // AEX storm armed: slice the quantum at injected-AEX boundaries.
+    // The interpreter charges per instruction, so the slicing itself
+    // is invisible in the cycle stream — only on_injected_aex() (SSA
+    // save/restore + AEX/ERESUME transition costs) adds cycles.
+    if (aex_countdown_ == 0) {
+        aex_countdown_ = period;
+    }
+    uint64_t budget = quantum_;
+    vm::CpuExit exit;
+    for (;;) {
+        uint64_t slice = std::min(budget, aex_countdown_);
+        uint64_t before = proc.cpu->instructions();
+        exit = proc.cpu->run(slice);
+        uint64_t ran = proc.cpu->instructions() - before;
+        budget -= std::min(budget, ran);
+        aex_countdown_ -= std::min(aex_countdown_, ran);
+        if (aex_countdown_ == 0) {
+            on_injected_aex(proc);
+            aex_countdown_ = period;
+            if (proc.state == ProcState::kDead) {
+                return exit;
+            }
+        }
+        if (exit.kind != vm::ExitKind::kInstrBudget || budget == 0) {
+            return exit;
+        }
+    }
+}
+
 bool
 Kernel::step_round()
 {
@@ -266,7 +354,7 @@ Kernel::step_round()
         {
             OCC_TRACE_SPAN(kVm, "cpu.quantum",
                            static_cast<uint64_t>(pid));
-            exit = proc.cpu->run(quantum_);
+            exit = run_user_quantum(proc);
             charge(proc.cpu->cycles() - before_cycles);
         }
         stats_.user_instructions +=
@@ -426,6 +514,17 @@ Kernel::dispatch(Process &proc, uint64_t num,
             if (r.would_block) {
                 proc.wake_time = r.wake_time;
                 return std::nullopt;
+            }
+            if (r.value == neg_errno(ErrorCode::kPipe) &&
+                file->epipe_kills()) {
+                // POSIX delivers SIGPIPE here; the default action
+                // kills the writer. Returning -EPIPE to a program
+                // that retries in a loop used to deadlock run()
+                // against allow_idle (the writer never blocks, never
+                // exits). Kill with a SIGPIPE-shaped death record.
+                proc.last_fault = vm::FaultKind::kNone;
+                kill_process(proc, DeathCause::kPipe, r.value);
+                return r.value;
             }
             return r.value;
         }

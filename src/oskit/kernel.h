@@ -41,6 +41,7 @@ enum class DeathCause {
     kFault,      // memory/bound/decode fault (killed by the kernel)
     kPrivileged, // executed a privileged instruction
     kKilled,     // kill() by another process
+    kPipe,       // wrote to a pipe with no readers (SIGPIPE-shaped)
 };
 
 /** Scheduler state of a process. */
@@ -258,6 +259,15 @@ class Kernel
     virtual Status validate_user_range(Process &proc, uint64_t addr,
                                        uint64_t len);
 
+    /**
+     * Fault-injection hook (src/faultsim, aex_every): an asynchronous
+     * enclave exit at the current instruction boundary. Personalities
+     * that model enclaves save/restore the SSA and charge the
+     * AEX+ERESUME transitions; the base kernel has no enclave, so the
+     * default is a no-op.
+     */
+    virtual void on_injected_aex(Process &proc) { (void)proc; }
+
     // ---- helpers available to personalities -----------------------------
   public:
     void charge(uint64_t cycles) { clock_->advance(cycles); }
@@ -280,6 +290,15 @@ class Kernel
     /** Handle one ltrap syscall; true if it completed (not blocked). */
     bool handle_syscall(Process &proc);
 
+    /**
+     * Run one scheduling quantum of user code. When an AEX storm is
+     * armed the quantum is sliced at injected-AEX boundaries (the
+     * interpreter charges per instruction, so slicing itself is
+     * invisible — only on_injected_aex() adds cost); when idle this
+     * is exactly cpu->run(quantum_).
+     */
+    vm::CpuExit run_user_quantum(Process &proc);
+
     /** Dispatch by number; nullopt = would block (retry later). */
     std::optional<int64_t> dispatch(Process &proc, uint64_t num,
                                     const uint64_t args[abi::kSyscallArgs]);
@@ -291,6 +310,8 @@ class Kernel
     std::map<int, DeathRecord> reaped_;
     int next_pid_ = 1;
     uint64_t quantum_ = 20000;
+    /** Instructions until the next injected AEX (AEX storms). */
+    uint64_t aex_countdown_ = 0;
     std::string console_;
     KernelStats stats_;
     /** Registry-backed metrics (registered in the constructor). */

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "faultsim/faultsim.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 
@@ -31,6 +32,12 @@ zero_page_digest()
 Status
 Platform::reserve_epc(uint64_t bytes)
 {
+    // Fault injection: a busy platform may have paged-out / reserved
+    // EPC even when our own accounting shows room (EPC is shared
+    // machine-wide on real hardware).
+    if (faultsim::FaultSim::instance().epc_reserve_fails()) {
+        return Status(ErrorCode::kNoMem, "EPC exhausted (injected)");
+    }
     if (epc_used_ + bytes > epc_capacity_) {
         return Status(ErrorCode::kNoMem, "EPC exhausted");
     }

@@ -165,27 +165,71 @@ class Enclave
 };
 
 /**
- * One SGX thread: a TCS plus its SSA. Owns a Cpu bound to the
- * enclave's address space. AEX saves the architectural state
- * (including bound registers) to the SSA; resume() restores it.
+ * One SGX thread: a TCS plus its SSA. By default owns a Cpu bound to
+ * the enclave's address space; the second constructor binds the TCS
+ * to an existing Cpu instead (the kernel's per-SIP threads). AEX
+ * saves the architectural state (including bound registers) to the
+ * SSA; resume() restores it.
+ *
+ * The TCS has a single SSA frame (NSSA=1, the configuration the
+ * Occlum LibOS runs with): an AEX while already in AEX has nowhere
+ * to save state, so real hardware would overwrite the frame and
+ * corrupt the interrupted context. try_aex() therefore *rejects*
+ * nested injection; aex() treats it as a hard programming error.
  */
 class SgxThread
 {
   public:
     explicit SgxThread(Enclave &enclave)
-        : enclave_(&enclave), cpu_(enclave.mem())
+        : enclave_(&enclave),
+          owned_cpu_(std::make_unique<vm::Cpu>(enclave.mem())),
+          cpu_(owned_cpu_.get())
     {}
 
-    vm::Cpu &cpu() { return cpu_; }
+    SgxThread(Enclave &enclave, vm::Cpu &cpu)
+        : enclave_(&enclave), cpu_(&cpu)
+    {}
+
+    vm::Cpu &cpu() { return *cpu_; }
     Enclave &enclave() { return *enclave_; }
 
-    /** Asynchronous enclave exit: snapshot state into the SSA. */
+    /**
+     * Asynchronous enclave exit: snapshot the state into the SSA and
+     * clobber the live registers — on real SGX the synthetic state
+     * the untrusted host sees is scrubbed, and anything the host
+     * leaves behind is overwritten by ERESUME. Clobbering here makes
+     * the restore meaningful: a field the SSA round trip dropped
+     * resumes as garbage instead of silently surviving.
+     * Returns false (no state change, no charge) while already in
+     * AEX: the single SSA frame is occupied.
+     */
+    bool
+    try_aex()
+    {
+        if (in_aex_) {
+            return false;
+        }
+        ssa_ = cpu_->state();
+        vm::CpuState scrubbed = ssa_;
+        for (size_t i = 0; i < scrubbed.regs.size(); ++i) {
+            scrubbed.regs[i] = 0xae00ae00ae00ae00ull + i;
+        }
+        for (auto &bnd : scrubbed.bnds) {
+            bnd = vm::BoundReg{};
+        }
+        scrubbed.rip = 0;
+        cpu_->set_state(scrubbed);
+        in_aex_ = true;
+        enclave_->charge_aex();
+        return true;
+    }
+
+    /** try_aex() that treats nested AEX as a programming error. */
     void
     aex()
     {
-        ssa_ = cpu_.state();
-        in_aex_ = true;
-        enclave_->charge_aex();
+        OCC_CHECK_MSG(try_aex(),
+                      "nested AEX: the TCS has one SSA frame (NSSA=1)");
     }
 
     /** ERESUME: restore the SSA snapshot (bound registers included). */
@@ -193,7 +237,7 @@ class SgxThread
     resume()
     {
         OCC_CHECK(in_aex_);
-        cpu_.set_state(ssa_);
+        cpu_->set_state(ssa_);
         in_aex_ = false;
         enclave_->charge_eenter();
     }
@@ -203,7 +247,9 @@ class SgxThread
 
   private:
     Enclave *enclave_;
-    vm::Cpu cpu_;
+    /** Set only by the owning constructor. */
+    std::unique_ptr<vm::Cpu> owned_cpu_;
+    vm::Cpu *cpu_;
     vm::CpuState ssa_;
     bool in_aex_ = false;
 };

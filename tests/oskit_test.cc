@@ -163,6 +163,9 @@ func main() {
 TEST(Syscalls, PipeEofAndEpipe)
 {
     KernelHarness h;
+    // Writing to a pipe whose read end is gone kills the writer (the
+    // SIGPIPE default action) — the write never returns -EPIPE into a
+    // program that could spin on it forever against run(allow_idle).
     EXPECT_EQ(h.run(R"(
 global byte b[16];
 func main() {
@@ -175,11 +178,230 @@ func main() {
     var fds2[2];
     pipe(fds2);
     close(fds2[0]);                // no readers
-    if (write(fds2[1], "z", 1) != -32) { return 3; } // EPIPE
-    return 0;
+    write(fds2[1], "z", 1);        // killed here
+    return 3;                      // unreachable
 }
 )"),
-              0);
+              -32);
+}
+
+TEST(Regression, EpipeKillLeavesPipeShapedDeathRecord)
+{
+    // Reader closed *before* the write: the EPIPE kill must be
+    // recorded as DeathCause::kPipe (not kFault) with -EPIPE as the
+    // code, so wait()ers and post-mortems can tell SIGPIPE from a
+    // crash.
+    KernelHarness h;
+    auto out = toolchain::compile(R"(
+func main() {
+    var fds[2];
+    pipe(fds);
+    close(fds[0]);
+    write(fds[1], "z", 1);
+    return 0;
+}
+)");
+    ASSERT_TRUE(out.ok());
+    h.files.put("prog", out.value().image.serialize());
+    auto pid = h.sys.spawn("prog", {"prog"});
+    ASSERT_TRUE(pid.ok());
+    h.sys.run();
+    auto record = h.sys.death_record(pid.value());
+    ASSERT_TRUE(record.ok());
+    EXPECT_EQ(record.value().cause, DeathCause::kPipe);
+    EXPECT_EQ(record.value().code,
+              -static_cast<int64_t>(ErrorCode::kPipe));
+    EXPECT_EQ(record.value().fault, vm::FaultKind::kNone);
+}
+
+TEST(Regression, EpipeKillsBlockedWriterWhenReaderCloses)
+{
+    // The other close order: the writer blocks on a full pipe first,
+    // *then* the last reader goes away. The blocked write's retry
+    // must turn into the EPIPE kill — before the fix the writer
+    // stayed blocked forever and run() only ended via allow_idle.
+    KernelHarness h;
+    auto child = toolchain::compile(R"(
+func main() {
+    // Spin long past the parent's fill loop (the sim is
+    // deterministic: the parent is blocked well before this ends),
+    // then drop the only read end.
+    var i = 0;
+    while (i < 200000) { i = i + 1; }
+    close(0);
+    return 0;
+}
+)");
+    ASSERT_TRUE(child.ok());
+    h.files.put("closer", child.value().image.serialize());
+    auto out = toolchain::compile(R"(
+global byte child[12] = "closer";
+global byte buf[4096];
+func main() {
+    var fds[2];
+    pipe(fds);
+    var argvv[1];
+    argvv[0] = child;
+    var io3[3];
+    io3[0] = fds[0];   // child inherits the read end as stdin
+    io3[1] = 1;
+    io3[2] = 2;
+    if (spawn_io(child, argvv, 1, io3) < 0) { return 1; }
+    close(fds[0]);     // the child holds the only read end now
+    var i = 0;
+    while (i < 16) {   // 16 * 4096 = the pipe's 64 KiB capacity
+        if (write(fds[1], buf, 4096) != 4096) { return 2; }
+        i = i + 1;
+    }
+    write(fds[1], buf, 1);  // blocks full; killed when the child closes
+    return 3;               // unreachable
+}
+)");
+    ASSERT_TRUE(out.ok());
+    h.files.put("prog", out.value().image.serialize());
+    auto pid = h.sys.spawn("prog", {"prog"});
+    ASSERT_TRUE(pid.ok());
+    h.sys.run();
+    ASSERT_TRUE(h.sys.all_exited());
+    auto record = h.sys.death_record(pid.value());
+    ASSERT_TRUE(record.ok());
+    EXPECT_EQ(record.value().cause, DeathCause::kPipe);
+    EXPECT_EQ(record.value().code,
+              -static_cast<int64_t>(ErrorCode::kPipe));
+}
+
+// ---- copy_from_user / copy_to_user hardening --------------------------
+
+/**
+ * A bare kernel with a permissive validate_user_range, standing in
+ * for a personality (like Occlum's) whose override only checks region
+ * *bounds* — so the copy helpers' own all-or-nothing mapping probe is
+ * what is under test.
+ */
+struct RawKernel : Kernel {
+    RawKernel(SimClock &clock, host::HostFileStore &files)
+        : Kernel(clock, files)
+    {}
+    Result<std::unique_ptr<Process>>
+    create_process(const std::string &,
+                   const std::vector<std::string> &) override
+    {
+        return Error(ErrorCode::kNoSys, "raw kernel");
+    }
+    void destroy_process(Process &) override {}
+    uint64_t syscall_cost() const override { return 0; }
+    Result<FilePtr> fs_open(Process &, const std::string &,
+                            uint64_t) override
+    {
+        return Error(ErrorCode::kNoSys, "raw kernel");
+    }
+    Status fs_unlink(const std::string &) override
+    {
+        return Status(ErrorCode::kNoSys, "raw kernel");
+    }
+    Status fs_mkdir(const std::string &) override
+    {
+        return Status(ErrorCode::kNoSys, "raw kernel");
+    }
+    Status validate_user_range(Process &, uint64_t, uint64_t) override
+    {
+        return Status(); // bounds-only personality: accept everything
+    }
+};
+
+struct HoleyHarness {
+    SimClock clock;
+    host::HostFileStore files;
+    RawKernel kernel{clock, files};
+    vm::AddressSpace space;
+    Process proc;
+
+    HoleyHarness()
+    {
+        // Two mapped pages around an unmapped hole:
+        //   [0x1000,0x2000) mapped | [0x2000,0x3000) hole |
+        //   [0x3000,0x4000) mapped
+        EXPECT_TRUE(space.map(0x1000, 0x1000, vm::kPermRW).ok());
+        EXPECT_TRUE(space.map(0x3000, 0x1000, vm::kPermRW).ok());
+        proc.space = &space;
+    }
+};
+
+TEST(Regression, PartialCopyAcrossUnmappedHole)
+{
+    HoleyHarness h;
+    // Seed the first page with a sentinel pattern.
+    Bytes sentinel(0x800, 0xcd);
+    ASSERT_EQ(h.space.write_raw(0x1800, sentinel.data(),
+                                sentinel.size()),
+              vm::AccessFault::kNone);
+
+    // copy_to_user spanning the hole must fail...
+    Bytes payload(0x1000, 0x11);
+    EXPECT_FALSE(h.kernel
+                     .copy_to_user(h.proc, 0x1800, payload.data(),
+                                   payload.size())
+                     .ok());
+    // ...and must not have scribbled the mapped prefix: before the
+    // fix, write_raw modified [0x1800,0x2000) and then faulted,
+    // leaving user memory half-updated behind an EFAULT.
+    Bytes check(sentinel.size());
+    ASSERT_EQ(h.space.read_raw(0x1800, check.data(), check.size()),
+              vm::AccessFault::kNone);
+    EXPECT_EQ(check, sentinel);
+
+    // copy_from_user across the same hole also fails up front.
+    Bytes out(0x1000, 0x00);
+    EXPECT_FALSE(h.kernel
+                     .copy_from_user(h.proc, 0x1800, out.data(),
+                                     out.size())
+                     .ok());
+
+    // Fully-mapped ranges on both sides still work.
+    EXPECT_TRUE(h.kernel
+                    .copy_to_user(h.proc, 0x1000, payload.data(), 0x800)
+                    .ok());
+    EXPECT_TRUE(h.kernel
+                    .copy_from_user(h.proc, 0x3000, out.data(), 0x800)
+                    .ok());
+}
+
+TEST(Regression, CstringMaxLenClamped)
+{
+    SimClock clock;
+    host::HostFileStore files;
+    RawKernel kernel(clock, files);
+    vm::AddressSpace space;
+    Process proc;
+    proc.space = &space;
+    // 32 pages of 'a' with no terminator anywhere.
+    ASSERT_TRUE(space.map(0x10000, 32 * vm::kPageSize,
+                          vm::kPermRW).ok());
+    Bytes fill(32 * vm::kPageSize, 'a');
+    ASSERT_EQ(space.write_raw(0x10000, fill.data(), fill.size()),
+              vm::AccessFault::kNone);
+
+    // A hostile max_len is clamped to the 64 KiB ceiling instead of
+    // walking (and allocating) until the first unmapped byte.
+    auto res = kernel.read_user_cstring(proc, 0x10000, ~0ull);
+    ASSERT_FALSE(res.ok());
+    EXPECT_EQ(res.error().code, ErrorCode::kNameTooLong);
+
+    // A terminated string whose NUL is the last byte of the mapped
+    // range (the page-chunked reader must not probe past it).
+    uint64_t tail = 0x10000 + 32 * vm::kPageSize - 4;
+    ASSERT_EQ(space.write_raw(tail, "hey", 4), vm::AccessFault::kNone);
+    auto hey = kernel.read_user_cstring(proc, tail, 4096);
+    ASSERT_TRUE(hey.ok());
+    EXPECT_EQ(hey.value(), "hey");
+
+    // An unterminated string running into unmapped memory faults.
+    uint64_t edge = 0x10000 + 32 * vm::kPageSize - 8;
+    ASSERT_EQ(space.write_raw(edge, "aaaaaaaa", 8),
+              vm::AccessFault::kNone);
+    auto bad = kernel.read_user_cstring(proc, edge, 4096);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.error().code, ErrorCode::kFault);
 }
 
 TEST(Syscalls, Dup2RedirectsAndSharesOffset)

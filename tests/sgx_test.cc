@@ -186,6 +186,61 @@ TEST(SgxThread, AexSavesAndRestoresBoundRegisters)
     EXPECT_EQ(thread.cpu().rip(), kBase + 8);
 }
 
+TEST(SgxThread, NestedAexIsRejectedUntilResume)
+{
+    Platform platform;
+    Enclave enclave(platform, kBase, 1 << 20);
+    ASSERT_TRUE(
+        enclave.add_pages(kBase, vm::kPageSize, vm::kPermRX).ok());
+    ASSERT_TRUE(enclave.init().ok());
+
+    SgxThread thread(enclave);
+    thread.cpu().set_reg(0, 0x11);
+    thread.cpu().set_rip(kBase);
+
+    // The TCS has a single SSA frame (NSSA=1): a second exit before
+    // ERESUME would overwrite the first snapshot and lose the real
+    // interrupted state, so injection while in_aex must be refused.
+    ASSERT_TRUE(thread.try_aex());
+    EXPECT_FALSE(thread.try_aex());
+    // The refused attempt must not have disturbed the saved frame.
+    thread.resume();
+    EXPECT_EQ(thread.cpu().reg(0), 0x11u);
+    EXPECT_EQ(thread.cpu().rip(), kBase);
+    // Once resumed the thread can take the next AEX normally.
+    EXPECT_TRUE(thread.try_aex());
+    thread.resume();
+}
+
+TEST(SgxThread, AexScrubsLiveStateAndBindsExternalCpu)
+{
+    Platform platform;
+    Enclave enclave(platform, kBase, 1 << 20);
+    ASSERT_TRUE(
+        enclave.add_pages(kBase, vm::kPageSize, vm::kPermRX).ok());
+    ASSERT_TRUE(enclave.init().ok());
+
+    // A TCS bound to an externally-owned CPU (how injected AEX storms
+    // interrupt a running SIP's processor mid-quantum).
+    vm::Cpu cpu(enclave.mem());
+    cpu.set_reg(5, 0x5555);
+    cpu.set_bnd(1, {0x100, 0x1ff});
+    cpu.set_rip(kBase + 16);
+
+    SgxThread thread(enclave, cpu);
+    ASSERT_TRUE(thread.try_aex());
+    // On exit the hardware hands scrubbed registers to the host: the
+    // live state must carry nothing of the enclave's.
+    EXPECT_NE(cpu.reg(5), 0x5555u);
+    EXPECT_EQ(cpu.bnd(1).lo, 0u);
+    EXPECT_EQ(cpu.rip(), 0u);
+    thread.resume();
+    EXPECT_EQ(cpu.reg(5), 0x5555u);
+    EXPECT_EQ(cpu.bnd(1).lo, 0x100u);
+    EXPECT_EQ(cpu.bnd(1).hi, 0x1ffu);
+    EXPECT_EQ(cpu.rip(), kBase + 16);
+}
+
 TEST(Attestation, ReportsVerifyOnSamePlatformOnly)
 {
     Platform platform;
