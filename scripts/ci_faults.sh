@@ -10,7 +10,14 @@
 #   plan 2: flaky block device — 2% transient EAGAIN faults on reads
 #           and writes, absorbed by EncFs's bounded retry/backoff,
 #   plan 3: lossy network — 5% segment loss, 5% duplicates, frequent
-#           short reads, absorbed by netsim's retransmission model.
+#           short reads, absorbed by netsim's retransmission model,
+#   plan 4: lossy network + AEX storm combined — drops and duplicates
+#           shift every arrival edge while AEXes shift every quantum
+#           boundary, stressing the wait-queue wakeup path under the
+#           poll()-driven lighttpd loop (FaultSimAex.StormOverPoll…
+#           and the Poll.* suite run under this plan like the rest of
+#           tier-1): a wakeup that is lost, early, or aimed at the
+#           wrong process shows up as a stall or a short response.
 #
 # Plan 1 additionally runs under ASan+UBSan: an injected AEX touches
 # the SSA snapshot path on every quantum, the place a lifetime bug
@@ -26,6 +33,7 @@ PLANS=(
     "seed=101;aex_every=4096"
     "seed=202;dev_read_transient=0.02;dev_write_transient=0.02"
     "seed=303;net_drop=0.05;net_dup=0.05;net_short_read=0.25"
+    "seed=404;net_drop=0.05;net_dup=0.05;aex_every=2048"
 )
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo

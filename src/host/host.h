@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -238,6 +239,30 @@ class NetSim
     bool is_drained(const Connection *conn, bool at_server,
                     uint64_t now_cycles) const;
 
+    /** True if recv() would return bytes right now. */
+    bool readable_now(const Connection *conn, bool at_server,
+                      uint64_t now_cycles) const;
+
+    /** Earliest in-flight arrival toward `at_server` (~0 if none). */
+    uint64_t next_arrival_time(const Connection *conn,
+                               bool at_server) const;
+
+    /**
+     * Observer hooks for the in-enclave kernel's wait queues: fired
+     * when state a blocked process may be waiting on changes. `when`
+     * is the simulated arrival cycle (future for in-flight data,
+     * "now" for a close). Host-side load generators drive the same
+     * NetSim directly, so these fire for their traffic too.
+     */
+    struct Events {
+        std::function<void(Connection *, bool to_server, uint64_t when)>
+            on_data;
+        std::function<void(uint16_t port, uint64_t when)> on_connect;
+        std::function<void(Connection *, bool closed_by_server)> on_close;
+    };
+
+    void set_events(Events events) { events_ = std::move(events); }
+
   private:
     struct Listener {
         int backlog = 16;
@@ -250,6 +275,7 @@ class NetSim
     std::vector<std::unique_ptr<Connection>> established_;
     uint64_t link_busy_until_ = 0;
     int next_conn_id_ = 1;
+    Events events_;
 };
 
 } // namespace occlum::host

@@ -47,6 +47,9 @@ NetSim::connect(uint16_t port)
     Connection *raw = conn.get();
     uint64_t arrival = clock_->cycles() + CostModel::kNetRttCycles / 2;
     it->second.pending.emplace_back(std::move(conn), arrival);
+    if (events_.on_connect) {
+        events_.on_connect(port, arrival);
+    }
     return raw;
 }
 
@@ -116,6 +119,9 @@ NetSim::send(Connection *conn, bool from_server, const uint8_t *data,
     chunk.arrival_cycles = arrival;
     (from_server ? conn->to_client : conn->to_server)
         .push_back(std::move(chunk));
+    if (events_.on_data) {
+        events_.on_data(conn, !from_server, arrival);
+    }
 }
 
 size_t
@@ -167,6 +173,26 @@ NetSim::close(Connection *conn, bool server_side)
     } else {
         conn->open_client = false;
     }
+    if (events_.on_close) {
+        events_.on_close(conn, server_side);
+    }
+}
+
+bool
+NetSim::readable_now(const Connection *conn, bool at_server,
+                     uint64_t now_cycles) const
+{
+    // recv() pops fully-consumed chunks, so a non-empty queue's front
+    // always holds unread bytes; arrivals are monotone per direction.
+    const auto &queue = at_server ? conn->to_server : conn->to_client;
+    return !queue.empty() && queue.front().arrival_cycles <= now_cycles;
+}
+
+uint64_t
+NetSim::next_arrival_time(const Connection *conn, bool at_server) const
+{
+    const auto &queue = at_server ? conn->to_server : conn->to_client;
+    return queue.empty() ? ~0ull : queue.front().arrival_cycles;
 }
 
 bool

@@ -79,8 +79,22 @@ enum class Sys : uint64_t {
     kFsync = 23,     // fsync(fd)
     kSockConnect = 24,// sock_connect(port) -> fd
     kGetArg = 25,    // getarg(index, buf, cap) -> len (argv helper)
+    kPoll = 26,      // poll(fds, nfds, timeout_ns) -> ready count
+                     //   (fds: records of 3 int64s {fd, events,
+                     //    revents}; timeout_ns -1 = infinite, 0 =
+                     //    non-blocking; blocks on wait queues)
     kCount
 };
+
+/** poll() event bits (Linux values). */
+constexpr int64_t kPollIn = 0x01;
+constexpr int64_t kPollOut = 0x04;
+constexpr int64_t kPollErr = 0x08;
+constexpr int64_t kPollHup = 0x10;
+constexpr int64_t kPollNval = 0x20;
+
+/** Bytes per poll() record: {fd, events, revents}, each int64. */
+constexpr uint64_t kPollRecordBytes = 24;
 
 /** Static name of a syscall number ("sys.write", ...), for tracing. */
 constexpr const char *
@@ -113,6 +127,7 @@ sys_name(uint64_t num)
       case Sys::kFsync: return "sys.fsync";
       case Sys::kSockConnect: return "sys.sock_connect";
       case Sys::kGetArg: return "sys.getarg";
+      case Sys::kPoll: return "sys.poll";
       case Sys::kCount: break;
     }
     return "sys.unknown";

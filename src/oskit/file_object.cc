@@ -1,9 +1,49 @@
 #include "oskit/file_object.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "oskit/kernel.h"
 #include "trace/trace.h"
 
 namespace occlum::oskit {
+
+// ---------------------------------------------------------------------
+// WaitQueue
+// ---------------------------------------------------------------------
+
+WaitQueue::~WaitQueue()
+{
+    // Normally empty by now (a blocked process keeps every object it
+    // waits on alive through its own fd table, and Kernel teardown
+    // detaches survivors); clean up back-pointers if not.
+    for (Process *proc : waiters_) {
+        auto &w = proc->waiting_on;
+        w.erase(std::remove(w.begin(), w.end(), this), w.end());
+    }
+}
+
+void
+WaitQueue::add(Process *proc)
+{
+    if (std::find(waiters_.begin(), waiters_.end(), proc) ==
+        waiters_.end()) {
+        waiters_.push_back(proc);
+    }
+}
+
+void
+WaitQueue::remove(Process *proc)
+{
+    waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), proc),
+                   waiters_.end());
+}
+
+std::vector<Process *>
+WaitQueue::take()
+{
+    return std::exchange(waiters_, {});
+}
 
 // ---------------------------------------------------------------------
 // PipeEnd
@@ -22,11 +62,19 @@ PipeEnd::on_fd_acquire()
 void
 PipeEnd::on_fd_release(Kernel &kernel)
 {
-    (void)kernel;
     if (read_end_) {
-        --pipe_->readers;
+        if (--pipe_->readers == 0) {
+            // Last reader gone: blocked writers must learn they will
+            // never drain the pipe (EPIPE, SIGPIPE-shaped death).
+            kernel.wake_queue(pipe_->write_waiters,
+                              kernel.clock().cycles());
+        }
     } else {
-        --pipe_->writers;
+        if (--pipe_->writers == 0) {
+            // Last writer gone: blocked readers see EOF.
+            kernel.wake_queue(pipe_->read_waiters,
+                              kernel.clock().cycles());
+        }
     }
 }
 
@@ -49,6 +97,10 @@ PipeEnd::read(Kernel &kernel, uint8_t *buf, uint64_t len)
     }
     kernel.charge(kernel.pipe_op_cost() +
                   static_cast<uint64_t>(n * kernel.pipe_byte_cost()));
+    if (n > 0) {
+        // Freed capacity: wake writers blocked on a full pipe.
+        kernel.wake_queue(pipe_->write_waiters, kernel.clock().cycles());
+    }
     return IoResult::ok(static_cast<int64_t>(n));
 }
 
@@ -69,7 +121,33 @@ PipeEnd::write(Kernel &kernel, const uint8_t *buf, uint64_t len)
     pipe_->buffer.insert(pipe_->buffer.end(), buf, buf + n);
     kernel.charge(kernel.pipe_op_cost() +
                   static_cast<uint64_t>(n * kernel.pipe_byte_cost()));
+    if (n > 0) {
+        kernel.wake_queue(pipe_->read_waiters, kernel.clock().cycles());
+    }
     return IoResult::ok(static_cast<int64_t>(n));
+}
+
+uint64_t
+PipeEnd::poll_ready(Kernel &kernel)
+{
+    (void)kernel;
+    uint64_t bits = 0;
+    if (read_end_) {
+        if (!pipe_->buffer.empty()) {
+            bits |= static_cast<uint64_t>(abi::kPollIn);
+        }
+        if (pipe_->writers == 0) {
+            // EOF is readable; HUP tells the poller why.
+            bits |= static_cast<uint64_t>(abi::kPollIn | abi::kPollHup);
+        }
+    } else {
+        if (pipe_->readers == 0) {
+            bits |= static_cast<uint64_t>(abi::kPollErr);
+        } else if (pipe_->can_write()) {
+            bits |= static_cast<uint64_t>(abi::kPollOut);
+        }
+    }
+    return bits;
 }
 
 // ---------------------------------------------------------------------
@@ -101,6 +179,14 @@ SocketFile::read(Kernel &kernel, uint8_t *buf, uint64_t len)
 IoResult
 SocketFile::write(Kernel &kernel, const uint8_t *buf, uint64_t len)
 {
+    bool peer_open =
+        at_server_ ? conn_->open_client : conn_->open_server;
+    if (!peer_open) {
+        // Same default-fatal SIGPIPE shape as pipes (the kernel's
+        // epipe_kills() path); a send into a closed connection used
+        // to succeed silently.
+        return IoResult::err(ErrorCode::kPipe);
+    }
     net_->send(conn_, at_server_, buf, len);
     {
         OCC_TRACE_SPAN(kOcall, "net.send", len);
@@ -114,8 +200,64 @@ SocketFile::write(Kernel &kernel, const uint8_t *buf, uint64_t len)
 void
 SocketFile::on_fd_release(Kernel &kernel)
 {
+    net_->close(conn_, at_server_); // fires on_close → wakes the peer
+    kernel.socket_closed(conn_, at_server_);
+}
+
+uint64_t
+SocketFile::poll_ready(Kernel &kernel)
+{
+    uint64_t now = kernel.clock().cycles();
+    uint64_t bits = 0;
+    bool peer_open =
+        at_server_ ? conn_->open_client : conn_->open_server;
+    if (peer_open) {
+        bits |= static_cast<uint64_t>(abi::kPollOut);
+    } else {
+        bits |= static_cast<uint64_t>(abi::kPollHup);
+    }
+    if (net_->readable_now(conn_, at_server_, now)) {
+        bits |= static_cast<uint64_t>(abi::kPollIn);
+    } else if (net_->is_drained(conn_, at_server_, now)) {
+        bits |= static_cast<uint64_t>(abi::kPollIn); // EOF readable
+    }
+    return bits;
+}
+
+uint64_t
+SocketFile::next_event_time(Kernel &kernel)
+{
     (void)kernel;
-    net_->close(conn_, at_server_);
+    return net_->next_arrival_time(conn_, at_server_);
+}
+
+// ---------------------------------------------------------------------
+// ListenerFile
+// ---------------------------------------------------------------------
+
+void
+ListenerFile::on_fd_release(Kernel &kernel)
+{
+    // The listener is shared across master and workers through fd
+    // inheritance; only the last close unregisters the port.
+    if (--fd_refs_ == 0) {
+        kernel.listener_closed(port_);
+    }
+}
+
+uint64_t
+ListenerFile::poll_ready(Kernel &kernel)
+{
+    return net_->next_accept_time(port_) <= kernel.clock().cycles()
+               ? static_cast<uint64_t>(abi::kPollIn)
+               : 0;
+}
+
+uint64_t
+ListenerFile::next_event_time(Kernel &kernel)
+{
+    (void)kernel;
+    return net_->next_accept_time(port_);
 }
 
 } // namespace occlum::oskit

@@ -11,14 +11,53 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "base/bytes.h"
 #include "base/result.h"
 #include "host/host.h"
+#include "oelf/abi.h"
 
 namespace occlum::oskit {
 
 class Kernel;
+struct Process;
+
+/**
+ * A readiness wait queue: the set of blocked processes to wake when
+ * an object's state changes (data arrived, space freed, peer closed,
+ * child died). Queues never decide *when* the woken process runs —
+ * the kernel re-dispatches woken processes in ascending-pid order at
+ * the position the old retry-polling scheduler would have retried
+ * them, which keeps the simulated cycle stream bit-identical.
+ *
+ * A process may wait on several queues at once (poll()); membership
+ * is mirrored in Process::waiting_on so any wake detaches it from
+ * every queue it joined.
+ */
+class WaitQueue
+{
+  public:
+    WaitQueue() = default;
+    ~WaitQueue();
+    WaitQueue(const WaitQueue &) = delete;
+    WaitQueue &operator=(const WaitQueue &) = delete;
+
+    /** Register a blocked process (idempotent). */
+    void add(Process *proc);
+    /** Drop one process (no-op if absent). */
+    void remove(Process *proc);
+    /** Detach and return every waiter, emptying the queue. */
+    std::vector<Process *> take();
+
+    /** The current waiters, without detaching them. */
+    const std::vector<Process *> &peek() const { return waiters_; }
+
+    bool empty() const { return waiters_.empty(); }
+
+  private:
+    std::vector<Process *> waiters_;
+};
 
 /** Result of a read/write attempt on a file object. */
 struct IoResult {
@@ -100,11 +139,46 @@ class FileObject
 
     /**
      * Does -EPIPE from write() carry the default-fatal SIGPIPE
-     * semantics? True for pipes (the kernel kills the writer, as
-     * POSIX's default disposition does); false for objects where
-     * EPIPE is an ordinary error return.
+     * semantics? True for pipes and connected sockets (the kernel
+     * kills the writer, as POSIX's default disposition does); false
+     * for objects where EPIPE is an ordinary error return.
      */
     virtual bool epipe_kills() const { return false; }
+
+    /**
+     * Wait queues for readers/writers blocked on this object. Pipe
+     * ends share their Pipe's queues (both ends wake the peer); every
+     * other object owns its own pair.
+     */
+    virtual WaitQueue &read_waiters() { return read_waiters_; }
+    virtual WaitQueue &write_waiters() { return write_waiters_; }
+
+    /**
+     * Current poll() readiness (abi::kPoll* bits). Regular files and
+     * the console never block, so the default is always-ready.
+     */
+    virtual uint64_t
+    poll_ready(Kernel &kernel)
+    {
+        (void)kernel;
+        return static_cast<uint64_t>(abi::kPollIn | abi::kPollOut);
+    }
+
+    /**
+     * Earliest future simulated cycle at which poll_ready() may gain
+     * bits without any wait-queue notification (e.g. a network chunk
+     * already in flight). ~0 = only explicit wakeups can change it.
+     */
+    virtual uint64_t
+    next_event_time(Kernel &kernel)
+    {
+        (void)kernel;
+        return ~0ull;
+    }
+
+  private:
+    WaitQueue read_waiters_;
+    WaitQueue write_waiters_;
 };
 
 using FilePtr = std::shared_ptr<FileObject>;
@@ -122,6 +196,11 @@ class Pipe
     std::deque<uint8_t> buffer;
     int readers = 0;
     int writers = 0;
+
+    // Shared by both PipeEnd objects: a write on one end wakes
+    // readers blocked on the other, and vice versa.
+    WaitQueue read_waiters;
+    WaitQueue write_waiters;
 
     bool
     can_read() const
@@ -153,6 +232,10 @@ class PipeEnd : public FileObject
     bool is_read_end() const { return read_end_; }
     Pipe &pipe() { return *pipe_; }
     bool epipe_kills() const override { return true; }
+
+    WaitQueue &read_waiters() override { return pipe_->read_waiters; }
+    WaitQueue &write_waiters() override { return pipe_->write_waiters; }
+    uint64_t poll_ready(Kernel &kernel) override;
 
   private:
     std::shared_ptr<Pipe> pipe_;
@@ -195,6 +278,12 @@ class SocketFile : public FileObject
     IoResult write(Kernel &kernel, const uint8_t *buf,
                    uint64_t len) override;
     void on_fd_release(Kernel &kernel) override;
+    uint64_t poll_ready(Kernel &kernel) override;
+    uint64_t next_event_time(Kernel &kernel) override;
+    bool epipe_kills() const override { return true; }
+
+    host::NetSim::Connection *conn() { return conn_; }
+    bool at_server() const { return at_server_; }
 
   private:
     host::NetSim *net_;
@@ -213,9 +302,15 @@ class ListenerFile : public FileObject
     host::NetSim *net() { return net_; }
     uint16_t port() const { return port_; }
 
+    void on_fd_acquire() override { ++fd_refs_; }
+    void on_fd_release(Kernel &kernel) override;
+    uint64_t poll_ready(Kernel &kernel) override;
+    uint64_t next_event_time(Kernel &kernel) override;
+
   private:
     host::NetSim *net_;
     uint16_t port_;
+    int fd_refs_ = 0;
 };
 
 } // namespace occlum::oskit

@@ -183,6 +183,7 @@ Kernel::spawn(const std::string &path, const std::vector<std::string> &argv,
         proc->space->write_raw(proc->d_begin + abi::kPcbPid, &pid64, 8);
     }
     procs_.emplace(pid, std::move(proc));
+    run_queue_.insert(pid);
     ++stats_.spawns;
     ctr_spawns_->add();
     OCC_TRACE_INSTANT(kSched, "proc.spawn",
@@ -200,11 +201,22 @@ Kernel::kill_process(Process &proc, DeathCause cause, int64_t code)
     proc.state = ProcState::kDead;
     proc.death = cause;
     proc.exit_code = code;
-    // Release fds so pipe peers see EOF / EPIPE.
+    detach_waits(proc);
+    proc.wake_pending = false;
+    proc.wake_time = ~0ull; // invalidates any armed timers
+    run_queue_.erase(proc.pid);
+    // Release fds so pipe peers see EOF / EPIPE (the release hooks
+    // wake any peers blocked on the other end).
     for (auto &[fd, file] : proc.fds) {
         file->on_fd_release(*this);
     }
     proc.fds.clear();
+    // Wake waitpid() callers parked on this pid.
+    auto wit = pid_waiters_.find(proc.pid);
+    if (wit != pid_waiters_.end()) {
+        wake_queue(wit->second, clock_->cycles());
+        pid_waiters_.erase(wit);
+    }
 
     DeathRecord record;
     record.cause = cause;
@@ -266,13 +278,189 @@ Kernel::all_exited() const
 uint64_t
 Kernel::next_wake_time() const
 {
-    uint64_t earliest = ~0ull;
-    for (const auto &[pid, proc] : procs_) {
-        if (proc->state == ProcState::kBlocked) {
-            earliest = std::min(earliest, proc->wake_time);
+    // Heap peek with lazy pruning, replacing the O(procs) scan over
+    // every blocked process. An entry is live iff its pid is still
+    // blocked, not already wake-pending, and its wake_time matches.
+    while (!timers_.empty()) {
+        auto [when, pid] = timers_.top();
+        auto it = procs_.find(pid);
+        if (it != procs_.end()) {
+            const Process &proc = *it->second;
+            if (proc.state == ProcState::kBlocked &&
+                !proc.wake_pending && proc.wake_time == when) {
+                return when;
+            }
+        }
+        timers_.pop();
+    }
+    return ~0ull;
+}
+
+// ---------------------------------------------------------------------
+// wait queues and wakeups
+// ---------------------------------------------------------------------
+
+Kernel::~Kernel()
+{
+    // Detach every process from every wait queue while both sides are
+    // still alive; plain member destruction would otherwise have
+    // queue destructors chasing back-pointers into freed processes.
+    for (auto &[pid, proc] : procs_) {
+        detach_waits(*proc);
+    }
+    if (net_) {
+        net_->set_events({});
+    }
+}
+
+void
+Kernel::install_net_events()
+{
+    if (!net_) {
+        return;
+    }
+    host::NetSim::Events events;
+    events.on_data = [this](host::NetSim::Connection *conn,
+                            bool to_server, uint64_t when) {
+        auto it = socket_registry_.find({conn, to_server});
+        if (it != socket_registry_.end()) {
+            wake_queue(it->second->read_waiters(), when);
+        }
+    };
+    events.on_connect = [this](uint16_t port, uint64_t when) {
+        auto it = listener_registry_.find(port);
+        if (it != listener_registry_.end()) {
+            wake_queue(it->second->read_waiters(), when);
+        }
+    };
+    events.on_close = [this](host::NetSim::Connection *conn,
+                             bool closed_by_server) {
+        // The side still open sees EOF (and EPIPE on write) now.
+        auto it = socket_registry_.find({conn, !closed_by_server});
+        if (it != socket_registry_.end()) {
+            uint64_t now = clock_->cycles();
+            wake_queue(it->second->read_waiters(), now);
+            wake_queue(it->second->write_waiters(), now);
+        }
+    };
+    net_->set_events(std::move(events));
+}
+
+void
+Kernel::register_socket(host::NetSim::Connection *conn, bool at_server,
+                        FileObject *file)
+{
+    socket_registry_[{conn, at_server}] = file;
+}
+
+void
+Kernel::socket_closed(host::NetSim::Connection *conn, bool at_server)
+{
+    socket_registry_.erase({conn, at_server});
+}
+
+void
+Kernel::listener_closed(uint16_t port)
+{
+    listener_registry_.erase(port);
+}
+
+void
+Kernel::detach_waits(Process &proc)
+{
+    for (WaitQueue *queue : proc.waiting_on) {
+        queue->remove(&proc);
+    }
+    proc.waiting_on.clear();
+}
+
+void
+Kernel::mark_wake_pending(Process &proc)
+{
+    if (proc.state != ProcState::kBlocked || proc.wake_pending) {
+        return;
+    }
+    detach_waits(proc);
+    proc.wake_pending = true;
+    // Invalidate any armed timers (the heap's lazy deletion keys off
+    // wake_time matching the entry).
+    proc.wake_time = ~0ull;
+    run_queue_.insert(proc.pid);
+    ctr_wakeups_->add();
+    OCC_TRACE_INSTANT(kSched, "sched.wake",
+                      static_cast<uint64_t>(proc.pid));
+}
+
+void
+Kernel::wake_process(Process &proc)
+{
+    mark_wake_pending(proc);
+}
+
+void
+Kernel::arm_timer(Process &proc, uint64_t when)
+{
+    if (when >= proc.wake_time) {
+        return; // no timer, or an earlier one is already armed
+    }
+    proc.wake_time = when;
+    timers_.emplace(when, proc.pid);
+}
+
+void
+Kernel::wake_queue(WaitQueue &queue, uint64_t when)
+{
+    if (queue.empty()) {
+        return;
+    }
+    if (when <= clock_->cycles()) {
+        for (Process *proc : queue.take()) {
+            mark_wake_pending(*proc);
+        }
+        return;
+    }
+    // Future event (in-flight network data): arm timers but leave the
+    // waiters queued, so an earlier event can still wake them.
+    for (Process *proc : queue.peek()) {
+        arm_timer(*proc, when);
+    }
+}
+
+void
+Kernel::fire_due_timers()
+{
+    uint64_t now = clock_->cycles();
+    while (!timers_.empty() && timers_.top().first <= now) {
+        auto [when, pid] = timers_.top();
+        timers_.pop();
+        auto it = procs_.find(pid);
+        if (it == procs_.end()) {
+            continue;
+        }
+        Process &proc = *it->second;
+        if (proc.state == ProcState::kBlocked && !proc.wake_pending &&
+            proc.wake_time == when) {
+            mark_wake_pending(proc);
         }
     }
-    return earliest;
+}
+
+std::optional<int64_t>
+Kernel::block_on(Process &proc, uint64_t wake,
+                 const std::vector<WaitQueue *> &queues)
+{
+    for (WaitQueue *queue : queues) {
+        if (std::find(proc.waiting_on.begin(), proc.waiting_on.end(),
+                      queue) == proc.waiting_on.end()) {
+            queue->add(&proc);
+            proc.waiting_on.push_back(queue);
+        }
+    }
+    arm_timer(proc, wake);
+    // Off the scheduling walk until an explicit wakeup: this is the
+    // whole point — an idle connection costs zero dispatches.
+    run_queue_.erase(proc.pid);
+    return std::nullopt;
 }
 
 // ---------------------------------------------------------------------
@@ -322,30 +510,56 @@ Kernel::step_round()
 {
     OCC_TRACE_SPAN(kSched, "sched.round");
     any_progress_ = false;
-    // Snapshot pids: syscalls may spawn (or kill) during the walk.
-    std::vector<int> pids;
-    pids.reserve(procs_.size());
-    for (const auto &[pid, proc] : procs_) {
-        pids.push_back(pid);
-    }
-    for (int pid : pids) {
+    fire_due_timers();
+    // The walk visits runnable and wake-pending pids in ascending
+    // order. A woken process is dispatched at exactly the walk slot
+    // where the old retry-polling scheduler's retry would have
+    // succeeded (failed retries charged zero cycles), so the
+    // simulated cycle stream is unchanged. Processes spawned during
+    // the round first run next round, as they did when the walk
+    // iterated a pid snapshot taken at round start.
+    const int last_existing_pid = next_pid_ - 1;
+    int last = 0; // pids start at 1
+    for (;;) {
+        auto rit = run_queue_.upper_bound(last);
+        if (rit == run_queue_.end() || *rit > last_existing_pid) {
+            break;
+        }
+        int pid = *rit;
+        last = pid;
         auto it = procs_.find(pid);
         if (it == procs_.end()) {
+            run_queue_.erase(pid);
             continue;
         }
         Process &proc = *it->second;
         if (proc.state == ProcState::kDead) {
+            run_queue_.erase(pid);
             continue;
         }
         if (proc.state == ProcState::kBlocked) {
-            // Retry the in-flight syscall.
-            OCC_TRACE_SPAN(kLibos, abi::sys_name(proc.sys_num),
-                           static_cast<uint64_t>(pid));
-            if (handle_syscall(proc)) {
-                any_progress_ = true;
+            if (!proc.wake_pending) {
+                // Stale entry (the process blocked after joining the
+                // walk); it leaves until an explicit wakeup.
+                run_queue_.erase(pid);
+                continue;
             }
+            proc.wake_pending = false;
+            ctr_sched_visits_->add();
+            // Retry the in-flight syscall.
+            {
+                OCC_TRACE_SPAN(kLibos, abi::sys_name(proc.sys_num),
+                               static_cast<uint64_t>(pid));
+                if (handle_syscall(proc)) {
+                    any_progress_ = true;
+                } else {
+                    ctr_wasted_retries_->add();
+                }
+            }
+            fire_due_timers();
             continue;
         }
+        ctr_sched_visits_->add();
         // Runnable: execute a quantum. The span covers the charge so
         // its duration equals the cycles the SIP's code consumed.
         uint64_t before_cycles = proc.cpu->cycles();
@@ -392,6 +606,7 @@ Kernel::step_round()
                 proc.sys_args[i] = proc.cpu->reg(1 + i);
             }
             proc.sys_ret_addr = ret;
+            proc.sys_deadline = ~0ull; // computed by timed syscalls
             ++stats_.syscalls;
             ctr_syscalls_->add();
             uint64_t sys_begin = clock_->cycles();
@@ -417,6 +632,10 @@ Kernel::step_round()
             kill_process(proc, DeathCause::kFault, -1);
             break;
         }
+        // Quanta advance the clock; timers that came due mid-round
+        // wake their processes before the walk reaches their pid, the
+        // same slot the old per-round retry would have succeeded at.
+        fire_due_timers();
     }
     return any_progress_;
 }
@@ -471,6 +690,8 @@ Kernel::handle_syscall(Process &proc)
     proc.in_syscall = false;
     proc.state = ProcState::kRunnable;
     proc.wake_time = ~0ull;
+    proc.sys_deadline = ~0ull;
+    run_queue_.insert(proc.pid);
     proc.cpu->set_reg(0, static_cast<uint64_t>(*result));
     proc.cpu->set_rip(proc.sys_ret_addr);
     return true;
@@ -492,7 +713,9 @@ Kernel::dispatch(Process &proc, uint64_t num,
         return 0;
 
       case Sys::kWrite:
-      case Sys::kRead: {
+      case Sys::kRead:
+      case Sys::kSockSend:
+      case Sys::kSockRecv: {
         // Hot path: no FilePtr refcount traffic (the fd table entry
         // outlives the call) and a reused kernel bounce buffer
         // instead of a fresh zero-filled allocation per syscall.
@@ -501,19 +724,25 @@ Kernel::dispatch(Process &proc, uint64_t num,
         FileObject *file = it->second.get();
         uint64_t buf = args[1];
         uint64_t len = std::min<uint64_t>(args[2], 1 << 20);
-        if (len == 0) return 0;
+        Sys sys = static_cast<Sys>(num);
+        bool is_write = sys == Sys::kWrite || sys == Sys::kSockSend;
+        bool is_sock = sys == Sys::kSockSend || sys == Sys::kSockRecv;
+        // read()/write() return 0 for len == 0 without touching the
+        // file; the socket calls always reach the object (sock_send
+        // pays the per-op network cost even for an empty payload).
+        if (len == 0 && !is_sock) return 0;
         if (io_scratch_.size() < len) {
             io_scratch_.resize(len);
         }
         uint8_t *tmp = io_scratch_.data();
-        if (static_cast<Sys>(num) == Sys::kWrite) {
+        if (is_write) {
             if (!copy_from_user(proc, buf, tmp, len).ok()) {
                 return neg_errno(ErrorCode::kFault);
             }
             IoResult r = file->write(*this, tmp, len);
             if (r.would_block) {
-                proc.wake_time = r.wake_time;
-                return std::nullopt;
+                return block_on(proc, r.wake_time,
+                                {&file->write_waiters()});
             }
             if (r.value == neg_errno(ErrorCode::kPipe) &&
                 file->epipe_kills()) {
@@ -522,16 +751,27 @@ Kernel::dispatch(Process &proc, uint64_t num,
                 // that retries in a loop used to deadlock run()
                 // against allow_idle (the writer never blocks, never
                 // exits). Kill with a SIGPIPE-shaped death record.
+                // Sockets share this path: a send to a peer-closed
+                // connection is the same default-fatal SIGPIPE.
                 proc.last_fault = vm::FaultKind::kNone;
                 kill_process(proc, DeathCause::kPipe, r.value);
                 return r.value;
             }
             return r.value;
         }
+        // Probe the destination before reading: pipe/socket reads are
+        // destructive, so failing copy_to_user afterwards would
+        // silently discard the consumed bytes. write_raw ignores
+        // permission bits, so mapped == writable here.
+        if (len > 0 &&
+            (!validate_user_range(proc, buf, len).ok() ||
+             buf + len < buf || !proc.space->is_mapped(buf, len))) {
+            return neg_errno(ErrorCode::kFault);
+        }
         IoResult r = file->read(*this, tmp, len);
         if (r.would_block) {
-            proc.wake_time = r.wake_time;
-            return std::nullopt;
+            return block_on(proc, r.wake_time,
+                            {&file->read_waiters()});
         }
         if (r.value > 0) {
             if (!copy_to_user(proc, buf, tmp,
@@ -603,11 +843,13 @@ Kernel::dispatch(Process &proc, uint64_t num,
         if (it != reaped_.end()) {
             return it->second.code;
         }
-        if (!procs_.count(pid)) {
+        if (pid == proc.pid || !procs_.count(pid)) {
+            // Self-wait can never be satisfied (the caller would be
+            // parked on its own death edge, forever); report "no
+            // such child" like an unknown pid.
             return neg_errno(ErrorCode::kChild);
         }
-        proc.wake_time = ~0ull; // woken by the death (next round)
-        return std::nullopt;
+        return block_on(proc, ~0ull, {&pid_waiters_[pid]});
       }
 
       case Sys::kGetPid:
@@ -628,6 +870,13 @@ Kernel::dispatch(Process &proc, uint64_t num,
         proc.fds[wfd] = write_end;
         int64_t fds[2] = {rfd, wfd};
         if (!copy_to_user(proc, args[0], fds, sizeof(fds)).ok()) {
+            // Linux's do_pipe2 cleanup: a failed copy-out uninstalls
+            // both descriptors. Leaving them installed would leak two
+            // fds the program never learned the numbers of.
+            write_end->on_fd_release(*this);
+            proc.fds.erase(wfd);
+            read_end->on_fd_release(*this);
+            proc.fds.erase(rfd);
             return neg_errno(ErrorCode::kFault);
         }
         return 0;
@@ -637,6 +886,13 @@ Kernel::dispatch(Process &proc, uint64_t num,
         FilePtr file = file_of(args[0]);
         if (!file) return neg_errno(ErrorCode::kBadF);
         int newfd = static_cast<int>(args[1]);
+        if (static_cast<int>(args[0]) == newfd) {
+            // POSIX: dup2(fd, fd) is a no-op. The release-then-
+            // acquire below would transiently drop the last pipe
+            // reader/writer, delivering a spurious EOF/EPIPE wake to
+            // a blocked peer.
+            return newfd;
+        }
         auto old = proc.fds.find(newfd);
         if (old != proc.fds.end()) {
             old->second->on_fd_release(*this);
@@ -758,6 +1014,7 @@ Kernel::dispatch(Process &proc, uint64_t num,
         auto listener = std::make_shared<ListenerFile>(net_, port);
         listener->on_fd_acquire();
         proc.fds[fd] = listener;
+        listener_registry_[port] = listener.get();
         return fd;
       }
 
@@ -769,14 +1026,16 @@ Kernel::dispatch(Process &proc, uint64_t num,
         host::NetSim::Connection *conn =
             net_->try_accept(listener->port(), clock_->cycles());
         if (!conn) {
-            proc.wake_time = net_->next_accept_time(listener->port());
-            return std::nullopt;
+            return block_on(proc,
+                            net_->next_accept_time(listener->port()),
+                            {&file->read_waiters()});
         }
         charge(CostModel::kNetAcceptCycles);
         int fd = proc.alloc_fd();
         auto sock = std::make_shared<SocketFile>(net_, conn, true);
         sock->on_fd_acquire();
         proc.fds[fd] = sock;
+        register_socket(conn, true, sock.get());
         return fd;
       }
 
@@ -789,40 +1048,83 @@ Kernel::dispatch(Process &proc, uint64_t num,
                                                  false);
         sock->on_fd_acquire();
         proc.fds[fd] = sock;
+        register_socket(conn.value(), false, sock.get());
         return fd;
       }
 
-      case Sys::kSockSend:
-      case Sys::kSockRecv: {
-        FilePtr file = file_of(args[0]);
-        if (!file) return neg_errno(ErrorCode::kBadF);
-        uint64_t buf = args[1];
-        uint64_t len = std::min<uint64_t>(args[2], 1 << 20);
-        Bytes tmp(len);
-        if (static_cast<Sys>(num) == Sys::kSockSend) {
-            if (!copy_from_user(proc, buf, tmp.data(), len).ok()) {
+      case Sys::kPoll: {
+        // poll(fds, nfds, timeout_ns): fds is an array of records of
+        // three int64s {fd, events, revents}. timeout_ns < 0 waits
+        // forever, 0 never blocks. The deadline is computed once, at
+        // the first dispatch, so blocked retries do not slide it.
+        constexpr uint64_t kMaxPollFds = 4096;
+        uint64_t fds_ptr = args[0];
+        uint64_t nfds = args[1];
+        int64_t timeout_ns = static_cast<int64_t>(args[2]);
+        if (nfds > kMaxPollFds) return neg_errno(ErrorCode::kInval);
+        if (proc.sys_deadline == ~0ull && timeout_ns >= 0) {
+            proc.sys_deadline =
+                clock_->cycles() +
+                static_cast<uint64_t>(static_cast<double>(timeout_ns) *
+                                      (SimClock::kFrequencyHz / 1e9));
+        }
+        uint64_t bytes = nfds * abi::kPollRecordBytes;
+        if (io_scratch_.size() < bytes) {
+            io_scratch_.resize(bytes);
+        }
+        if (bytes > 0 &&
+            !copy_from_user(proc, fds_ptr, io_scratch_.data(), bytes)
+                 .ok()) {
+            return neg_errno(ErrorCode::kFault);
+        }
+        int64_t *rec = reinterpret_cast<int64_t *>(io_scratch_.data());
+        int64_t ready = 0;
+        uint64_t min_event = ~0ull;
+        std::vector<WaitQueue *> queues;
+        for (uint64_t i = 0; i < nfds; ++i) {
+            int64_t fd = rec[3 * i];
+            int64_t events = rec[3 * i + 1];
+            int64_t revents = 0;
+            if (fd >= 0) { // POSIX: negative fds are skipped
+                auto fit = proc.fds.find(static_cast<int>(fd));
+                if (fit == proc.fds.end()) {
+                    revents = abi::kPollNval;
+                } else {
+                    FileObject *pf = fit->second.get();
+                    uint64_t bits = pf->poll_ready(*this);
+                    // POLLERR/POLLHUP are always reported; POLLIN/
+                    // POLLOUT only when requested.
+                    revents =
+                        static_cast<int64_t>(bits) &
+                        (events | abi::kPollErr | abi::kPollHup);
+                    if (revents == 0) {
+                        if (events & abi::kPollIn) {
+                            queues.push_back(&pf->read_waiters());
+                        }
+                        if (events & abi::kPollOut) {
+                            queues.push_back(&pf->write_waiters());
+                        }
+                        min_event = std::min(min_event,
+                                             pf->next_event_time(*this));
+                    }
+                }
+            }
+            rec[3 * i + 2] = revents;
+            if (revents != 0) ++ready;
+        }
+        uint64_t now = clock_->cycles();
+        bool timed_out =
+            proc.sys_deadline != ~0ull && now >= proc.sys_deadline;
+        if (ready > 0 || timed_out) {
+            if (bytes > 0 &&
+                !copy_to_user(proc, fds_ptr, rec, bytes).ok()) {
                 return neg_errno(ErrorCode::kFault);
             }
-            IoResult r = file->write(*this, tmp.data(), len);
-            if (r.would_block) {
-                proc.wake_time = r.wake_time;
-                return std::nullopt;
-            }
-            return r.value;
+            ctr_poll_calls_->add();
+            return ready;
         }
-        IoResult r = file->read(*this, tmp.data(), len);
-        if (r.would_block) {
-            proc.wake_time = r.wake_time;
-            return std::nullopt;
-        }
-        if (r.value > 0) {
-            if (!copy_to_user(proc, buf, tmp.data(),
-                              static_cast<uint64_t>(r.value))
-                     .ok()) {
-                return neg_errno(ErrorCode::kFault);
-            }
-        }
-        return r.value;
+        return block_on(proc, std::min(proc.sys_deadline, min_event),
+                        queues);
       }
 
       case Sys::kGetArg: {

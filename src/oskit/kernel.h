@@ -22,7 +22,10 @@
 
 #include <map>
 #include <memory>
+#include <queue>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/result.h"
@@ -84,11 +87,31 @@ struct Process {
     /** Earliest time a blocked process should retry (cycles). */
     uint64_t wake_time = ~0ull;
 
+    /**
+     * Set when a wakeup (wait-queue notification or due timer) has
+     * scheduled this blocked process for one retry dispatch. Cleared
+     * when the retry runs.
+     */
+    bool wake_pending = false;
+
+    /**
+     * Every wait queue this blocked process is registered on (one for
+     * read/write/accept/waitpid, several for poll). Any wake detaches
+     * it from all of them.
+     */
+    std::vector<WaitQueue *> waiting_on;
+
     /** In-flight (possibly blocked) syscall state. */
     bool in_syscall = false;
     uint64_t sys_num = 0;
     uint64_t sys_args[abi::kSyscallArgs] = {};
     uint64_t sys_ret_addr = 0;
+    /**
+     * Absolute deadline (cycles) for the in-flight syscall, computed
+     * once at the first dispatch so blocked retries do not slide it.
+     * ~0 = none/unset; reset on syscall entry.
+     */
+    uint64_t sys_deadline = ~0ull;
 
     /**
      * POSIX-style allocation: the lowest descriptor not currently in
@@ -142,9 +165,19 @@ class Kernel
           ctr_faults_(
               &trace::Registry::instance().counter("kernel.faults")),
           hist_syscall_cycles_(&trace::Registry::instance().histogram(
-              "kernel.syscall_cycles"))
-    {}
-    virtual ~Kernel() = default;
+              "kernel.syscall_cycles")),
+          ctr_wakeups_(
+              &trace::Registry::instance().counter("kernel.wakeups")),
+          ctr_wasted_retries_(&trace::Registry::instance().counter(
+              "kernel.wasted_retries")),
+          ctr_poll_calls_(&trace::Registry::instance().counter(
+              "kernel.poll_calls")),
+          ctr_sched_visits_(&trace::Registry::instance().counter(
+              "kernel.sched_visits"))
+    {
+        install_net_events();
+    }
+    virtual ~Kernel();
 
     Kernel(const Kernel &) = delete;
     Kernel &operator=(const Kernel &) = delete;
@@ -196,6 +229,19 @@ class Kernel
 
     /** Instructions per scheduling quantum. */
     void set_quantum(uint64_t quantum) { quantum_ = quantum; }
+
+    // ---- wakeups ---------------------------------------------------
+    /**
+     * Notify a wait queue that the condition it guards may now (or at
+     * `when`, if in the future) hold. Waiters whose condition is due
+     * are marked wake-pending and rejoin the scheduling walk at their
+     * pid position; future events arm the timer heap instead, leaving
+     * the waiters queued so earlier events can still reach them.
+     */
+    void wake_queue(WaitQueue &queue, uint64_t when);
+
+    /** Immediate wakeup of one blocked process (if any is blocked). */
+    void wake_process(Process &proc);
 
     // ---- personality hooks --------------------------------------------
   protected:
@@ -291,6 +337,30 @@ class Kernel
     bool handle_syscall(Process &proc);
 
     /**
+     * Block the calling process on `queues` until an explicit wakeup,
+     * with an optional timed wake at `wake` (cycles, ~0 = none). The
+     * return value is the std::nullopt a dispatch case returns.
+     */
+    std::optional<int64_t>
+    block_on(Process &proc, uint64_t wake,
+             const std::vector<WaitQueue *> &queues);
+
+    /** Detach a process from every wait queue it joined. */
+    void detach_waits(Process &proc);
+
+    /** Schedule one retry dispatch for a blocked process. */
+    void mark_wake_pending(Process &proc);
+
+    /** Arm the timer heap (and the process's wake_time) for `when`. */
+    void arm_timer(Process &proc, uint64_t when);
+
+    /** Pop every due timer, waking the processes they refer to. */
+    void fire_due_timers();
+
+    /** Point the NetSim's event observers at this kernel. */
+    void install_net_events();
+
+    /**
      * Run one scheduling quantum of user code. When an AEX storm is
      * armed the quantum is sliced at injected-AEX boundaries (the
      * interpreter charges per instruction, so slicing itself is
@@ -319,10 +389,49 @@ class Kernel
     trace::Counter *ctr_spawns_;
     trace::Counter *ctr_faults_;
     trace::Histogram *hist_syscall_cycles_;
+    trace::Counter *ctr_wakeups_;
+    trace::Counter *ctr_wasted_retries_;
+    trace::Counter *ctr_poll_calls_;
+    trace::Counter *ctr_sched_visits_;
     /** Processes whose blocked syscall should be retried. */
     bool any_progress_ = false;
     /** Reused read/write bounce buffer (grows to the largest I/O). */
     Bytes io_scratch_;
+
+    /**
+     * The scheduling walk: runnable pids plus wake-pending blocked
+     * pids, visited in ascending order. Blocked processes leave the
+     * set, so idle connections cost zero dispatches per round.
+     */
+    std::set<int> run_queue_;
+
+    /**
+     * Min-heap of (wake_time, pid) timed waits, replacing the
+     * O(procs) next_wake_time() scan. Lazy deletion: an entry is live
+     * iff the pid is still blocked, not wake-pending, and its
+     * wake_time equals the entry's (stale entries pop harmlessly).
+     * Mutable so next_wake_time() can prune dead entries.
+     */
+    mutable std::priority_queue<std::pair<uint64_t, int>,
+                                std::vector<std::pair<uint64_t, int>>,
+                                std::greater<>>
+        timers_;
+
+    /** waitpid(pid) wait queues, keyed by the awaited pid. */
+    std::map<int, WaitQueue> pid_waiters_;
+
+    /** Live sockets by (connection, at_server), for NetSim events. */
+    std::map<std::pair<host::NetSim::Connection *, bool>, FileObject *>
+        socket_registry_;
+    /** Live listeners by port, for NetSim connect events. */
+    std::map<uint16_t, FileObject *> listener_registry_;
+
+  public:
+    /** Registry maintenance, called from file-object close paths. */
+    void register_socket(host::NetSim::Connection *conn, bool at_server,
+                         FileObject *file);
+    void socket_closed(host::NetSim::Connection *conn, bool at_server);
+    void listener_closed(uint16_t port);
 };
 
 } // namespace occlum::oskit

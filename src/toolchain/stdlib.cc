@@ -47,6 +47,9 @@ func mkdir(path) { return syscall(22, path, strlen(path)); }
 func fsync(fd) { return syscall(23, fd); }
 func sock_connect(port) { return syscall(24, port); }
 func getarg(i, buf, cap) { return syscall(25, i, buf, cap); }
+// poll: fds is an int array of records {fd, events, revents};
+// timeout_ns < 0 waits forever, 0 never blocks.
+func poll(fds, nfds, timeout_ns) { return syscall(26, fds, nfds, timeout_ns); }
 
 // ---- strings and memory ----
 func strlen(s) {

@@ -63,6 +63,13 @@ std::string gcc_stage_source(const std::string &stage);
 /** Lighttpd-like HTTP server: master + N workers accept/serve. */
 std::string httpd_master_source();
 std::string httpd_worker_source();
+/**
+ * Single-process poll()-driven event loop (Lighttpd's actual shape):
+ * one pollfd set holds the listener plus every accepted connection,
+ * so thousands of idle keep-alive connections cost nothing until
+ * their readiness edge fires. argv: [count, backlog].
+ */
+std::string httpd_poll_source();
 
 // ---- microbenchmark workloads (Fig. 6) ---------------------------------
 

@@ -18,6 +18,7 @@
 #include "toolchain/minic.h"
 #include "trace/metrics.h"
 #include "verifier/verifier.h"
+#include "workloads/workloads.h"
 
 namespace occlum {
 namespace {
@@ -440,6 +441,132 @@ func main() {
     // AEX pays the exit/resume transitions.
     EXPECT_GT(storm.injected_aexes, 0u);
     EXPECT_GT(storm.cycles, clean.cycles);
+}
+
+TEST(FaultSimAex, StormOverPollDrivenServerServesEveryRequest)
+{
+    // The poll()-driven event loop rides entirely on wait-queue
+    // wakeups: an AEX storm perturbs when quanta end and when the
+    // server reaches poll(), but every wakeup must still land and
+    // every request must still complete with a full response. A lost
+    // or misdirected wakeup shows up as a stall (the drive loop
+    // panics) or a short byte count.
+    constexpr int kRequests = 24;
+    constexpr int kConcurrency = 4;
+    constexpr size_t kResponseBytes = 10240;
+
+    // Injected-AEX count of the most recent serve() run, read while
+    // its ScopedFaultPlan is still installed (restoring the ambient
+    // plan clears the fire counters).
+    uint64_t last_aexes = 0;
+    auto serve = [&](uint64_t aex_every, uint64_t seed) {
+        std::unique_ptr<ScopedFaultPlan> scoped;
+        if (aex_every != 0) {
+            FaultPlan plan;
+            plan.seed = seed;
+            plan.aex_every = aex_every;
+            scoped = std::make_unique<ScopedFaultPlan>(plan);
+        }
+        sgx::Platform platform;
+        host::HostFileStore binaries;
+        host::NetSim net(platform.clock());
+        libos::OcclumSystem::Config config;
+        config.num_slots = 2;
+        config.fs_blocks = 1 << 10;
+        config.verifier_key = vkey();
+        libos::OcclumSystem sys(platform, binaries, config, &net);
+        binaries.put("httpd_poll",
+                     build_signed(workloads::httpd_poll_source()));
+        auto pid = sys.spawn(
+            "httpd_poll", {"httpd_poll", std::to_string(kRequests),
+                           std::to_string(kConcurrency + 16)});
+        EXPECT_TRUE(pid.ok());
+        sys.run(/*allow_idle=*/true); // parks in poll()
+
+        struct Client {
+            host::NetSim::Connection *conn = nullptr;
+            size_t received = 0;
+        };
+        std::vector<Client> clients(kConcurrency);
+        const char *request = "GET / HTTP/1.1\r\n\r\n";
+        int issued = 0;
+        int completed = 0;
+        auto start = [&](Client &client) {
+            if (issued >= kRequests) {
+                client.conn = nullptr;
+                return;
+            }
+            auto conn = net.connect(8080);
+            EXPECT_TRUE(conn.ok());
+            client.conn = conn.value();
+            client.received = 0;
+            net.send(client.conn, false,
+                     reinterpret_cast<const uint8_t *>(request),
+                     strlen(request));
+            ++issued;
+        };
+        for (auto &client : clients) {
+            start(client);
+        }
+        uint8_t buf[4096];
+        size_t total_bytes = 0;
+        int guard = 0;
+        while (completed < kRequests) {
+            if (++guard >= (1 << 20)) {
+                ADD_FAILURE() << "server stalled under storm";
+                return total_bytes;
+            }
+            bool progress = sys.step_round();
+            for (auto &client : clients) {
+                if (!client.conn) {
+                    continue;
+                }
+                uint64_t next_arrival = ~0ull;
+                size_t n =
+                    net.recv(client.conn, false, buf, sizeof(buf),
+                             sys.clock().cycles(), next_arrival);
+                if (n > 0) {
+                    client.received += n;
+                    total_bytes += n;
+                    progress = true;
+                    if (client.received >= kResponseBytes) {
+                        net.close(client.conn, false);
+                        ++completed;
+                        start(client);
+                    }
+                }
+            }
+            if (!progress) {
+                uint64_t wake = sys.next_wake_time();
+                for (auto &client : clients) {
+                    if (!client.conn) {
+                        continue;
+                    }
+                    uint64_t next_arrival = ~0ull;
+                    net.recv(client.conn, false, buf, 0,
+                             sys.clock().cycles(), next_arrival);
+                    wake = std::min(wake, next_arrival);
+                }
+                if (wake == ~0ull || wake <= sys.clock().cycles()) {
+                    ADD_FAILURE() << "no wakeup pending: lost edge";
+                    return total_bytes;
+                }
+                sys.clock().advance(wake - sys.clock().cycles());
+            }
+        }
+        sys.run(); // the server exits after serving kRequests
+        auto code = sys.exit_code(pid.value());
+        EXPECT_TRUE(code.ok());
+        EXPECT_EQ(code.value(), kRequests & 0x7f);
+        last_aexes = FaultSim::instance().fires(Site::kAex);
+        return total_bytes;
+    };
+
+    size_t clean = serve(0, 0);
+    EXPECT_EQ(clean, kRequests * kResponseBytes);
+    size_t storm = serve(768, 11);
+    EXPECT_EQ(storm, clean);
+    EXPECT_GT(last_aexes, 0u);
 }
 
 // ---------------------------------------------------------------------

@@ -10,6 +10,7 @@
 #include "baseline/linux_system.h"
 #include "oskit/loader.h"
 #include "toolchain/minic.h"
+#include "trace/metrics.h"
 
 namespace occlum::oskit {
 namespace {
@@ -650,6 +651,247 @@ func main() {
     ASSERT_TRUE(code.ok());
     EXPECT_EQ(code.value(), 0);
     EXPECT_GT(clock.cycles(), before);
+}
+
+// ---- fd-lifecycle / EFAULT regression sweep ---------------------------
+
+TEST(Regression, FailedPipeCopyRollsBackBothFds)
+{
+    // pipe() installed both descriptors before copying the fd pair
+    // out; when the copy faulted the table kept two orphaned ends.
+    // After a failed pipe() the next pipe() must land on the same
+    // lowest slots — a leak shows up as higher numbers.
+    KernelHarness h;
+    EXPECT_EQ(h.run(R"(
+func main() {
+    var fds[2];
+    if (pipe(fds) != 0) { return 1; }          // learns slots 3,4
+    close(fds[0]);
+    close(fds[1]);
+    if (syscall(8, 0x7777777000) != -14) { return 2; } // EFAULT
+    var fds2[2];
+    if (pipe(fds2) != 0) { return 3; }
+    if (fds2[0] != fds[0]) { return 4; }       // leaked descriptor
+    if (fds2[1] != fds[1]) { return 5; }
+    return 0;
+}
+)"),
+              0);
+}
+
+TEST(Regression, Dup2SelfDupIsNoOpWithBlockedPeer)
+{
+    // dup2(fd, fd) used to release-then-reacquire the file object.
+    // The release edge is observable now that close notifies wait
+    // queues: with a child blocked reading the pipe, the transient
+    // "last writer gone" would wake it for nothing (or worse, close
+    // a socket's connection half). POSIX says dup2(fd, fd) does
+    // nothing and returns fd.
+    KernelHarness h;
+    auto child = toolchain::compile(R"(
+global byte buf[8];
+func main() {
+    if (read(0, buf, 8) != 2) { return 9; }    // blocks, then "hi"
+    return 0;
+}
+)");
+    ASSERT_TRUE(child.ok());
+    h.files.put("blocked_reader", child.value().image.serialize());
+    auto &wasted =
+        trace::Registry::instance().counter("kernel.wasted_retries");
+    uint64_t wasted0 = wasted.value();
+    EXPECT_EQ(h.run(R"(
+global byte child[16] = "blocked_reader";
+func main() {
+    var fds[2];
+    if (pipe(fds) != 0) { return 1; }
+    var argvv[1];
+    argvv[0] = child;
+    var io3[3];
+    io3[0] = fds[0];
+    io3[1] = 1;
+    io3[2] = 2;
+    var pid = spawn_io(child, argvv, 1, io3);
+    if (pid < 0) { return 2; }
+    close(fds[0]);     // the child holds the only read end
+    // Spin until the child is parked in read().
+    var i = 0;
+    while (i < 200000) { i = i + 1; }
+    if (dup2(fds[1], fds[1]) != fds[1]) { return 3; }
+    if (write(fds[1], "hi", 2) != 2) { return 4; }
+    return waitpid(pid);
+}
+)"),
+              0);
+    // The self-dup must not have woken the blocked reader for nothing.
+    EXPECT_EQ(wasted.value(), wasted0);
+}
+
+TEST(Regression, EfaultReadLeavesStreamIntact)
+{
+    // The kernel read data into its bounce buffer *before* checking
+    // that the destination was writable; a faulting read() therefore
+    // consumed the bytes. Destructive reads must probe first: after
+    // -EFAULT the stream still holds the data.
+    KernelHarness h;
+    EXPECT_EQ(h.run(R"(
+global byte b[8];
+func main() {
+    var fds[2];
+    if (pipe(fds) != 0) { return 1; }
+    if (write(fds[1], "ab", 2) != 2) { return 2; }
+    if (read(fds[0], 0x7777777000, 2) != -14) { return 3; } // EFAULT
+    if (read(fds[0], b, 8) != 2) { return 4; }  // data survived
+    if (bload(b) != 'a') { return 5; }
+    if (bload(b + 1) != 'b') { return 6; }
+    return 0;
+}
+)"),
+              0);
+}
+
+TEST(Syscalls, WaitpidSelfReturnsEchild)
+{
+    // waitpid(getpid()) parked the caller on its own death: an
+    // unwakeable deadlock. A process is not its own child — ECHILD.
+    KernelHarness h;
+    EXPECT_EQ(h.run(R"(
+func main() {
+    if (waitpid(getpid()) != -10) { return 1; } // ECHILD = 10
+    return 0;
+}
+)"),
+              0);
+}
+
+TEST(Regression, SendAfterPeerCloseIsPipeShapedDeath)
+{
+    // A send into a connection whose peer has closed used to succeed
+    // silently; it now takes the same default-fatal SIGPIPE path as
+    // pipes, recorded as DeathCause::kPipe.
+    SimClock clock;
+    host::HostFileStore files;
+    host::NetSim net(clock);
+    baseline::LinuxSystem sys(clock, files, &net);
+    auto out = toolchain::compile(R"(
+global byte msg[8] = "hello";
+func main() {
+    var l = sock_listen(9, 4);
+    if (l < 0) { return 1; }
+    var c = sock_connect(9);
+    if (c < 0) { return 2; }
+    var s = sock_accept(l);
+    if (s < 0) { return 3; }
+    close(c);                  // peer goes away
+    sock_send(s, msg, 5);      // killed here
+    return 7;                  // unreachable
+}
+)");
+    ASSERT_TRUE(out.ok());
+    files.put("prog", out.value().image.serialize());
+    auto pid = sys.spawn("prog", {"prog"});
+    ASSERT_TRUE(pid.ok());
+    sys.run();
+    auto code = sys.exit_code(pid.value());
+    ASSERT_TRUE(code.ok());
+    EXPECT_EQ(code.value(),
+              -static_cast<int64_t>(ErrorCode::kPipe));
+    auto record = sys.death_record(pid.value());
+    ASSERT_TRUE(record.ok());
+    EXPECT_EQ(record.value().cause, DeathCause::kPipe);
+}
+
+// ---- poll() semantics -------------------------------------------------
+
+TEST(Poll, TimeoutExpiresWithNothingReady)
+{
+    // One pollfd on an empty pipe's read end, finite timeout: poll
+    // must come back 0 after the deadline, and simulated time must
+    // actually have passed.
+    KernelHarness h;
+    EXPECT_EQ(h.run(R"(
+global int pfds[3];
+func main() {
+    var fds[2];
+    if (pipe(fds) != 0) { return 1; }
+    pfds[0] = fds[0];
+    pfds[1] = 0x1;             // POLLIN
+    pfds[2] = 0x7;             // stale garbage the kernel must clear
+    var t0 = time_ns();
+    var r = poll(pfds, 1, 1000000);   // 1 ms
+    if (r != 0) { return 2; }
+    if (pfds[2] != 0) { return 3; }
+    if (time_ns() - t0 < 1000000) { return 4; }
+    return 0;
+}
+)"),
+              0);
+}
+
+TEST(Poll, ReadinessEdgeWhenPeerCloses)
+{
+    // The parent blocks in poll() on the read end; the child exits
+    // (dropping the inherited last write end) long after the parent
+    // is parked. The close edge must wake the poller with
+    // POLLIN|POLLHUP, and the read must see a clean EOF.
+    KernelHarness h;
+    auto child = toolchain::compile(R"(
+func main() {
+    var i = 0;
+    while (i < 200000) { i = i + 1; }
+    return 0;                  // exit drops the write end
+}
+)");
+    ASSERT_TRUE(child.ok());
+    h.files.put("closer", child.value().image.serialize());
+    EXPECT_EQ(h.run(R"(
+global byte child[8] = "closer";
+global byte buf[8];
+global int pfds[3];
+func main() {
+    var fds[2];
+    if (pipe(fds) != 0) { return 1; }
+    var argvv[1];
+    argvv[0] = child;
+    var io3[3];
+    io3[0] = 0;
+    io3[1] = fds[1];           // child stdout = the write end
+    io3[2] = 2;
+    if (spawn_io(child, argvv, 1, io3) < 0) { return 2; }
+    close(fds[1]);             // the child holds the only writer
+    pfds[0] = fds[0];
+    pfds[1] = 0x1;             // POLLIN
+    pfds[2] = 0;
+    var r = poll(pfds, 1, 0 - 1);     // block until the edge
+    if (r != 1) { return 3; }
+    if (pfds[2] != 0x11) { return 4; }  // POLLIN|POLLHUP
+    if (read(fds[0], buf, 8) != 0) { return 5; } // EOF
+    return 0;
+}
+)"),
+              0);
+}
+
+TEST(Poll, DeadFdReportsNvalAndNegativeFdIsSkipped)
+{
+    KernelHarness h;
+    EXPECT_EQ(h.run(R"(
+global int pfds[6];
+func main() {
+    pfds[0] = 99;              // never-opened descriptor
+    pfds[1] = 0x1;
+    pfds[2] = 0;
+    pfds[3] = 0 - 1;           // negative: skipped per POSIX
+    pfds[4] = 0x1;
+    pfds[5] = 0x7;
+    var r = poll(pfds, 2, 0 - 1);
+    if (r != 1) { return 1; }         // NVAL counts as ready
+    if (pfds[2] != 0x20) { return 2; }  // POLLNVAL
+    if (pfds[5] != 0) { return 3; }     // skipped fd: revents cleared
+    return 0;
+}
+)"),
+              0);
 }
 
 } // namespace
