@@ -31,6 +31,7 @@ BENCHES=(
     bench_fig7a_specint
     bench_fig7b_breakdown
     bench_ablation_optimizations
+    bench_attested_rpc
 )
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release

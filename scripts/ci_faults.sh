@@ -17,7 +17,16 @@
 #           poll()-driven lighttpd loop (FaultSimAex.StormOverPoll…
 #           and the Poll.* suite run under this plan like the rest of
 #           tier-1): a wakeup that is lost, early, or aimed at the
-#           wrong process shows up as a stall or a short response.
+#           wrong process shows up as a stall or a short response,
+#   plan 5: attested RPC under hostile-network conditions — drops,
+#           duplicates, and aggressive short reads combined with an
+#           AEX storm, aimed at the src/attest handshake and record
+#           layer (the AttestedRpcScenario.* and Handshake.* tests
+#           run under this plan like the rest of tier-1). The
+#           invariant is all-or-nothing: either the handshake
+#           completes and both peers hold identical directional keys,
+#           or the endpoint fails *closed* with a named AttestError —
+#           never a half-open channel, never mismatched keys.
 #
 # Plan 1 additionally runs under ASan+UBSan: an injected AEX touches
 # the SSA snapshot path on every quantum, the place a lifetime bug
@@ -34,6 +43,7 @@ PLANS=(
     "seed=202;dev_read_transient=0.02;dev_write_transient=0.02"
     "seed=303;net_drop=0.05;net_dup=0.05;net_short_read=0.25"
     "seed=404;net_drop=0.05;net_dup=0.05;aex_every=2048"
+    "seed=505;net_drop=0.08;net_dup=0.08;net_short_read=0.25;aex_every=2048"
 )
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * src/attest — attested channel bootstrap between enclave systems
+ * (ROADMAP "attested multi-enclave deployments").
+ *
+ * The subsystem composes three existing ingredients into the
+ * evidence -> verify -> session-key -> encrypted-RPC pipeline that
+ * production attestation stacks (Open Enclave's hostverify/oesign
+ * flow) treat as table stakes:
+ *
+ *  - sgx::Enclave::create_report / verify_report supply the evidence
+ *    (measurement + SIGSTRUCT identity, MAC'd with the platform
+ *    report key),
+ *  - the crypto data plane (AES-CTR, midstate HMAC) runs the record
+ *    layer,
+ *  - host::NetSim carries the wire bytes, with faultsim's drop /
+ *    duplicate / short-read sites exercising retransmission and
+ *    fail-closed paths.
+ *
+ * Layering (one header per layer, bottom-up):
+ *   evidence.h   serializable Evidence blob wrapping an sgx::Report
+ *   policy.h     Verifier: report MAC + allow-list policy + nonce
+ *                replay cache
+ *   channel.h    RecordCodec / SecureChannel: seq-numbered AES-CTR +
+ *                HMAC encrypt-then-MAC record layer
+ *   handshake.h  Transport over NetSim + the mutual challenge-
+ *                response handshake state machines
+ *   rpc.h        tiny request/response framing over SecureChannel
+ *
+ * Everything here is deterministic: nonces come from seeded SplitMix64
+ * streams, and all latency is simulated cycles, so a handshake trace
+ * replays exactly from (seed, fault plan).
+ */
+#ifndef OCCLUM_ATTEST_ATTEST_H
+#define OCCLUM_ATTEST_ATTEST_H
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/hmac.h"
+
+namespace occlum::attest {
+
+/**
+ * Why an attestation or channel operation was rejected. Every tamper
+ * class maps to its own code (the adversarial battery in
+ * tests/attest_test.cc asserts the distinctions), and every non-kNone
+ * outcome is fail-closed: the endpoint tears the connection down
+ * rather than continuing half-open.
+ */
+enum class AttestError : uint8_t {
+    kNone = 0,
+
+    // ---- evidence / verification ----------------------------------
+    kBadEvidenceEncoding, // wrong magic/version/length
+    kBadReportMac,        // platform report-key MAC check failed
+    kWrongMeasurement,    // measurement not in the policy allow-list
+    kWrongSigner,         // signer not in the policy allow-list
+    kDebugForbidden,      // DEBUG attribute set, policy forbids it
+    kLowSvn,              // isv_svn below the policy minimum
+    kBadBinding,          // user_data does not bind this transcript
+    kReplayedNonce,       // peer nonce already consumed (replay)
+
+    // ---- handshake wire -------------------------------------------
+    kBadMagic,            // frame magic mismatch
+    kBadVersion,          // unsupported protocol version
+    kBadLength,           // frame length out of bounds
+    kUnexpectedMessage,   // legal frame, illegal state transition
+    kBadFinishedMac,      // key-confirmation MAC mismatch
+    kTimeout,             // fail-closed deadline expired
+    kPeerAlert,           // peer reported a failure and closed
+    kClosed,              // connection closed mid-handshake
+
+    // ---- record layer ---------------------------------------------
+    kBadRecordLength,     // record body shorter than the MAC trailer
+    kStaleSeq,            // sequence number replayed or out of order
+    kBadRecordMac,        // encrypt-then-MAC verification failed
+};
+
+const char *attest_error_name(AttestError error);
+
+/** A 32-byte handshake nonce. */
+using Nonce = std::array<uint8_t, 32>;
+
+/**
+ * Directional session keys derived from the handshake transcript.
+ * Both peers compute the same struct; each *uses* only its sending
+ * half for seal and its receiving half for open.
+ */
+struct SessionKeys {
+    crypto::Key128 enc_c2s{};
+    crypto::Key128 enc_s2c{};
+    crypto::Sha256Digest mac_c2s{};
+    crypto::Sha256Digest mac_s2c{};
+    std::array<uint8_t, 12> iv_c2s{};
+    std::array<uint8_t, 12> iv_s2c{};
+
+    bool
+    operator==(const SessionKeys &other) const
+    {
+        return enc_c2s == other.enc_c2s && enc_s2c == other.enc_s2c &&
+               mac_c2s == other.mac_c2s && mac_s2c == other.mac_s2c &&
+               iv_c2s == other.iv_c2s && iv_s2c == other.iv_s2c;
+    }
+};
+
+// ---- wire constants ---------------------------------------------------
+
+/** Frame magic ("At" little-endian) shared by handshake and records. */
+constexpr uint16_t kFrameMagic = 0x7441;
+/** Protocol version; bumped on any wire-format change. */
+constexpr uint8_t kProtocolVersion = 1;
+/** Frame header: u16 magic, u8 type, u8 version, u32 body length. */
+constexpr size_t kFrameHeaderSize = 8;
+/** Upper bound on a frame body (handshake or record). */
+constexpr uint32_t kMaxFrameBody = 1 << 20;
+
+/** Frame types. */
+enum class FrameType : uint8_t {
+    kClientHello = 1,
+    kServerHello = 2,
+    kClientFinish = 3,
+    kServerFinish = 4,
+    kRecord = 5,
+    kAlert = 6,
+};
+
+} // namespace occlum::attest
+
+#endif // OCCLUM_ATTEST_ATTEST_H

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The attested channel's record layer: seq-numbered AES-128-CTR +
+ * HMAC-SHA-256 encrypt-then-MAC records over the directional session
+ * keys the handshake derived.
+ *
+ * Wire format of one record frame (little-endian):
+ *
+ *   u16 magic        kFrameMagic
+ *   u8  type         FrameType::kRecord
+ *   u8  version      kProtocolVersion
+ *   u32 body_len     seq + ciphertext + MAC
+ *   u64 seq          explicit sequence number (also the replay gate)
+ *   u8  ciphertext[] AES-128-CTR under the direction's enc key
+ *   u8  mac[32]      HMAC over header || seq || ciphertext
+ *
+ * CTR nonce discipline: the direction's 12-byte IV with the record's
+ * seq folded into its low 8 bytes, in-record counter starting at 0 —
+ * no two records of a direction ever share keystream (records are
+ * capped at kMaxFrameBody < 2^32 blocks). The MAC is computed over
+ * the *ciphertext* (encrypt-then-MAC) including the header and seq,
+ * so truncation, reordering, and header tampering all fail the MAC
+ * before any decryption happens.
+ *
+ * Replay/ordering: the receiver accepts exactly seq == next expected;
+ * anything else is kStaleSeq (a delivered-then-replayed record and an
+ * out-of-order record are indistinguishable attacks over a reliable
+ * stream). MAC failures are kBadRecordMac. Both are fail-closed at
+ * the SecureChannel level: the channel poisons itself and refuses
+ * further traffic — a record layer that "resyncs" after a forged
+ * record would hand the attacker a truncate-and-splice primitive.
+ *
+ * The cost model charges kAesCyclesPerByte + kHmacCyclesPerByte per
+ * payload byte plus kAttestRecordFixedCycles per record, reusing the
+ * PR 3 fused-pass constants so the attested channel's simulated
+ * throughput is comparable with EncFs's.
+ */
+#ifndef OCCLUM_ATTEST_CHANNEL_H
+#define OCCLUM_ATTEST_CHANNEL_H
+
+#include "attest/attest.h"
+#include "base/sim_clock.h"
+#include "crypto/aes.h"
+
+namespace occlum::attest {
+
+/**
+ * Stateful seal/open codec for one side of an established channel.
+ * Pure data-plane object: no transport, no clock-driven control flow
+ * — which is what makes the tamper battery able to attack frames
+ * byte-by-byte in isolation.
+ */
+class RecordCodec
+{
+  public:
+    /**
+     * `is_server` selects which directional keys seal vs open.
+     * `clock` (optional) charges the simulated crypto cost; tests
+     * that only care about correctness pass nullptr. `plaintext`
+     * keeps the framing and sequence discipline but skips encryption
+     * and MACs — the ablation baseline quantifying record-layer
+     * overhead, never used by real endpoints.
+     */
+    RecordCodec(const SessionKeys &keys, bool is_server,
+                SimClock *clock = nullptr, bool plaintext = false);
+
+    /** Frame + encrypt + MAC one payload into a full wire frame. */
+    Bytes seal(const Bytes &payload);
+
+    /**
+     * Verify + decrypt one record body (the frame body after the
+     * 8-byte header, which open() re-derives for the MAC). On kNone,
+     * `payload_out` holds the plaintext and the expected seq
+     * advances; on any error the codec state is unchanged.
+     */
+    AttestError open(const Bytes &body, Bytes &payload_out);
+
+    uint64_t next_send_seq() const { return send_seq_; }
+    uint64_t next_recv_seq() const { return recv_seq_; }
+    bool plaintext() const { return plaintext_; }
+
+  private:
+    void charge(size_t payload_bytes) const;
+    std::array<uint8_t, 12> record_iv(const std::array<uint8_t, 12> &base,
+                                      uint64_t seq) const;
+
+    crypto::Aes128 send_cipher_;
+    crypto::Aes128 recv_cipher_;
+    crypto::HmacKey send_mac_;
+    crypto::HmacKey recv_mac_;
+    std::array<uint8_t, 12> send_iv_{};
+    std::array<uint8_t, 12> recv_iv_{};
+    uint64_t send_seq_ = 0;
+    uint64_t recv_seq_ = 0;
+    SimClock *clock_;
+    bool plaintext_;
+};
+
+/** Build the 8-byte frame header for `type` with `body_len`. */
+Bytes frame_header(FrameType type, uint32_t body_len);
+
+/**
+ * Parse an 8-byte header. Returns kNone and fills type/body_len, or
+ * the specific reason (kBadMagic / kBadVersion / kBadLength).
+ */
+AttestError parse_frame_header(const uint8_t *header, FrameType &type,
+                               uint32_t &body_len);
+
+} // namespace occlum::attest
+
+#endif // OCCLUM_ATTEST_CHANNEL_H

@@ -1,0 +1,97 @@
+#include "attest/evidence.h"
+
+#include <cstring>
+
+namespace occlum::attest {
+
+const char *
+attest_error_name(AttestError error)
+{
+    switch (error) {
+      case AttestError::kNone: return "none";
+      case AttestError::kBadEvidenceEncoding: return "bad-evidence-encoding";
+      case AttestError::kBadReportMac: return "bad-report-mac";
+      case AttestError::kWrongMeasurement: return "wrong-measurement";
+      case AttestError::kWrongSigner: return "wrong-signer";
+      case AttestError::kDebugForbidden: return "debug-forbidden";
+      case AttestError::kLowSvn: return "low-svn";
+      case AttestError::kBadBinding: return "bad-binding";
+      case AttestError::kReplayedNonce: return "replayed-nonce";
+      case AttestError::kBadMagic: return "bad-magic";
+      case AttestError::kBadVersion: return "bad-version";
+      case AttestError::kBadLength: return "bad-length";
+      case AttestError::kUnexpectedMessage: return "unexpected-message";
+      case AttestError::kBadFinishedMac: return "bad-finished-mac";
+      case AttestError::kTimeout: return "timeout";
+      case AttestError::kPeerAlert: return "peer-alert";
+      case AttestError::kClosed: return "closed";
+      case AttestError::kBadRecordLength: return "bad-record-length";
+      case AttestError::kStaleSeq: return "stale-seq";
+      case AttestError::kBadRecordMac: return "bad-record-mac";
+    }
+    return "unknown";
+}
+
+Bytes
+Evidence::serialize() const
+{
+    Bytes wire;
+    wire.reserve(kWireSize);
+    put_le<uint32_t>(wire, kMagic);
+    put_le<uint32_t>(wire, kVersion);
+    wire.insert(wire.end(), report.measurement.begin(),
+                report.measurement.end());
+    wire.insert(wire.end(), report.identity.signer.begin(),
+                report.identity.signer.end());
+    put_le<uint64_t>(wire, report.identity.attributes);
+    put_le<uint16_t>(wire, report.identity.isv_prod_id);
+    put_le<uint16_t>(wire, report.identity.isv_svn);
+    wire.insert(wire.end(), report.user_data.begin(),
+                report.user_data.end());
+    wire.insert(wire.end(), report.mac.begin(), report.mac.end());
+    OCC_CHECK(wire.size() == kWireSize);
+    return wire;
+}
+
+AttestError
+Evidence::parse(const Bytes &wire, Evidence &out)
+{
+    if (wire.size() != kWireSize) {
+        return AttestError::kBadEvidenceEncoding;
+    }
+    const uint8_t *p = wire.data();
+    if (get_le<uint32_t>(p) != kMagic ||
+        get_le<uint32_t>(p + 4) != kVersion) {
+        return AttestError::kBadEvidenceEncoding;
+    }
+    p += 8;
+    std::memcpy(out.report.measurement.data(), p, 32);
+    p += 32;
+    std::memcpy(out.report.identity.signer.data(), p, 32);
+    p += 32;
+    out.report.identity.attributes = get_le<uint64_t>(p);
+    p += 8;
+    out.report.identity.isv_prod_id = get_le<uint16_t>(p);
+    p += 2;
+    out.report.identity.isv_svn = get_le<uint16_t>(p);
+    p += 2;
+    std::memcpy(out.report.user_data.data(), p, 64);
+    p += 64;
+    std::memcpy(out.report.mac.data(), p, 32);
+    return AttestError::kNone;
+}
+
+crypto::Sha256Digest
+evidence_binding(const char *role_label,
+                 const crypto::Sha256Digest &transcript,
+                 const Nonce &fresh_nonce)
+{
+    crypto::Sha256 hasher;
+    hasher.update(reinterpret_cast<const uint8_t *>(role_label),
+                  std::strlen(role_label));
+    hasher.update(transcript.data(), transcript.size());
+    hasher.update(fresh_nonce.data(), fresh_nonce.size());
+    return hasher.finish();
+}
+
+} // namespace occlum::attest

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Evidence: the serializable attestation blob one enclave sends to a
+ * peer. It wraps an sgx::Report whose user_data binds a handshake
+ * transcript digest, plus the claimed identity (measurement and
+ * oesign-style signer) carried in the report itself.
+ *
+ * The wire encoding is fixed-size and little-endian; parse() is
+ * strict (exact length, magic, version) because evidence arrives from
+ * the untrusted network — a malformed blob is an attack, not a
+ * formatting choice.
+ */
+#ifndef OCCLUM_ATTEST_EVIDENCE_H
+#define OCCLUM_ATTEST_EVIDENCE_H
+
+#include "attest/attest.h"
+#include "base/bytes.h"
+#include "sgx/sgx.h"
+
+namespace occlum::attest {
+
+/** An attestation evidence blob. */
+struct Evidence {
+    static constexpr uint32_t kMagic = 0x31565441; // "ATV1"
+    static constexpr uint32_t kVersion = 1;
+    /** Serialized size: 8 header + 32 measurement + 44 identity +
+     *  64 user_data + 32 mac. */
+    static constexpr size_t kWireSize = 180;
+
+    sgx::Report report;
+
+    /** Fixed-size little-endian encoding. */
+    Bytes serialize() const;
+
+    /** Strict decode; kBadEvidenceEncoding on any deviation. */
+    static AttestError parse(const Bytes &wire, Evidence &out);
+};
+
+/**
+ * The transcript digest an enclave binds into its evidence:
+ * SHA-256(role-label || transcript-hash || responder-nonce). The
+ * role label domain-separates client from server evidence; the
+ * nonces inside the transcript make the binding fresh per handshake.
+ */
+crypto::Sha256Digest evidence_binding(const char *role_label,
+                                      const crypto::Sha256Digest &transcript,
+                                      const Nonce &fresh_nonce);
+
+} // namespace occlum::attest
+
+#endif // OCCLUM_ATTEST_EVIDENCE_H

@@ -1,0 +1,97 @@
+#include "attest/policy.h"
+
+#include <algorithm>
+
+#include "base/cost_model.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
+namespace occlum::attest {
+
+namespace {
+
+bool
+digest_allowed(const std::vector<crypto::Sha256Digest> &allowed,
+               const crypto::Sha256Digest &digest, bool allow_any)
+{
+    if (allow_any) {
+        return true;
+    }
+    return std::find(allowed.begin(), allowed.end(), digest) !=
+           allowed.end();
+}
+
+} // namespace
+
+Verifier::Verifier(sgx::Platform &platform, Policy policy)
+    : platform_(&platform), policy_(std::move(policy))
+{}
+
+AttestError
+Verifier::verify(const Evidence &evidence,
+                 const crypto::Sha256Digest &expected_binding) const
+{
+    OCC_TRACE_SPAN(kSgx, "attest.verify_evidence");
+    // The verification leg mirrors create_report's cost: one MAC over
+    // the report payload inside the verifying enclave.
+    platform_->clock().advance(CostModel::kLocalAttestCycles);
+
+    static trace::Counter *rejects =
+        &trace::Registry::instance().counter("attest.evidence_rejects");
+
+    // 1. Authenticity: the platform report key vouches for every
+    //    field. Identity checks before this point would act on
+    //    attacker-controlled bytes.
+    if (!sgx::Enclave::verify_report(*platform_, evidence.report)) {
+        rejects->add();
+        return AttestError::kBadReportMac;
+    }
+    // 2. Identity against the allow-list policy.
+    if (!digest_allowed(policy_.allowed_measurements,
+                        evidence.report.measurement,
+                        policy_.allow_any_measurement)) {
+        rejects->add();
+        return AttestError::kWrongMeasurement;
+    }
+    if (!digest_allowed(policy_.allowed_signers,
+                        evidence.report.identity.signer,
+                        policy_.allow_any_signer)) {
+        rejects->add();
+        return AttestError::kWrongSigner;
+    }
+    if ((evidence.report.identity.attributes &
+         sgx::EnclaveIdentity::kAttrDebug) != 0 &&
+        !policy_.allow_debug) {
+        rejects->add();
+        return AttestError::kDebugForbidden;
+    }
+    if (evidence.report.identity.isv_svn < policy_.min_isv_svn) {
+        rejects->add();
+        return AttestError::kLowSvn;
+    }
+    // 3. Freshness/binding: user_data must carry exactly the digest
+    //    this handshake's transcript demands.
+    std::array<uint8_t, 64> expect{};
+    std::copy(expected_binding.begin(), expected_binding.end(),
+              expect.begin());
+    if (evidence.report.user_data != expect) {
+        rejects->add();
+        return AttestError::kBadBinding;
+    }
+    return AttestError::kNone;
+}
+
+AttestError
+Verifier::consume_nonce(const Nonce &nonce)
+{
+    if (!seen_nonces_.insert(nonce).second) {
+        static trace::Counter *replays =
+            &trace::Registry::instance().counter("attest.nonce_replays");
+        replays->add();
+        OCC_TRACE_INSTANT(kNet, "attest.nonce_replay");
+        return AttestError::kReplayedNonce;
+    }
+    return AttestError::kNone;
+}
+
+} // namespace occlum::attest

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Verification policy for attestation evidence: which enclave
+ * identities a peer will talk to, and the replay defences around the
+ * evidence itself.
+ *
+ * The shape follows Open Enclave's hostverify flow: the verifier
+ * first checks the report is *authentic* (platform report-key MAC),
+ * then that the *identity* is acceptable (measurement and signer
+ * allow-lists, oesign-style; SVN floor; DEBUG attribute), then that
+ * the evidence is *fresh and bound* to this handshake (user_data
+ * binds the transcript digest; the peer nonce has never been
+ * consumed before).
+ *
+ * Allow-lists fail closed: an empty measurement or signer list
+ * rejects every peer. A service that genuinely wants to accept any
+ * identity must say so explicitly via the allow_any_* escape
+ * hatches — a misconfigured-empty policy must never become
+ * accept-all.
+ */
+#ifndef OCCLUM_ATTEST_POLICY_H
+#define OCCLUM_ATTEST_POLICY_H
+
+#include <set>
+#include <vector>
+
+#include "attest/evidence.h"
+
+namespace occlum::attest {
+
+/** Identity acceptance rules for one verifying endpoint. */
+struct Policy {
+    std::vector<crypto::Sha256Digest> allowed_measurements;
+    std::vector<crypto::Sha256Digest> allowed_signers;
+    /** Reject peers whose isv_svn is below this floor. */
+    uint16_t min_isv_svn = 0;
+    /** Accept enclaves with the DEBUG attribute set. */
+    bool allow_debug = false;
+    /** Explicit escape hatches (empty lists otherwise fail closed). */
+    bool allow_any_measurement = false;
+    bool allow_any_signer = false;
+};
+
+/**
+ * Evidence verifier: policy plus a nonce replay cache. One Verifier
+ * instance persists for the lifetime of a service endpoint so the
+ * cache spans handshakes — replaying a recorded handshake against the
+ * same server trips kReplayedNonce even though every MAC in the
+ * recording is genuine.
+ */
+class Verifier
+{
+  public:
+    /** Non-const platform: verification charges enclave cycles. */
+    Verifier(sgx::Platform &platform, Policy policy);
+
+    /**
+     * Full evidence check, in order (first failure wins, each class
+     * with its own code): report MAC, measurement, signer, DEBUG
+     * attribute, SVN floor, transcript binding.
+     */
+    AttestError verify(const Evidence &evidence,
+                       const crypto::Sha256Digest &expected_binding) const;
+
+    /**
+     * Consume a peer nonce: kReplayedNonce if it was ever consumed
+     * before (on this verifier), kNone otherwise. Callers check the
+     * nonce *before* burning an EREPORT on the reply.
+     */
+    AttestError consume_nonce(const Nonce &nonce);
+
+    const Policy &policy() const { return policy_; }
+    size_t nonces_seen() const { return seen_nonces_.size(); }
+
+  private:
+    sgx::Platform *platform_;
+    Policy policy_;
+    std::set<Nonce> seen_nonces_;
+};
+
+} // namespace occlum::attest
+
+#endif // OCCLUM_ATTEST_POLICY_H

@@ -1,0 +1,146 @@
+#include "attest/rpc.h"
+
+namespace occlum::attest {
+
+namespace {
+
+constexpr size_t kRpcHeaderSize = 8;
+
+Bytes
+encode(uint32_t a, uint32_t b, const Bytes &payload)
+{
+    Bytes wire;
+    wire.reserve(kRpcHeaderSize + payload.size());
+    put_le<uint32_t>(wire, a);
+    put_le<uint32_t>(wire, b);
+    wire.insert(wire.end(), payload.begin(), payload.end());
+    return wire;
+}
+
+} // namespace
+
+Bytes
+rpc_encode_request(uint32_t id, uint32_t op, const Bytes &payload)
+{
+    return encode(id, op, payload);
+}
+
+Bytes
+rpc_encode_response(uint32_t id, uint32_t status, const Bytes &payload)
+{
+    return encode(id, status, payload);
+}
+
+AttestError
+rpc_decode_request(const Bytes &wire, RpcRequest &out)
+{
+    if (wire.size() < kRpcHeaderSize) {
+        return AttestError::kBadLength;
+    }
+    out.id = get_le<uint32_t>(wire.data());
+    out.op = get_le<uint32_t>(wire.data() + 4);
+    out.payload.assign(wire.begin() + kRpcHeaderSize, wire.end());
+    return AttestError::kNone;
+}
+
+AttestError
+rpc_decode_response(const Bytes &wire, RpcResponse &out)
+{
+    if (wire.size() < kRpcHeaderSize) {
+        return AttestError::kBadLength;
+    }
+    out.id = get_le<uint32_t>(wire.data());
+    out.status = get_le<uint32_t>(wire.data() + 4);
+    out.payload.assign(wire.begin() + kRpcHeaderSize, wire.end());
+    return AttestError::kNone;
+}
+
+// ---- RpcServer --------------------------------------------------------
+
+RpcServer::RpcServer(SecureChannel channel, Handler handler)
+    : channel_(std::move(channel)), handler_(std::move(handler))
+{}
+
+bool
+RpcServer::step()
+{
+    if (failed() || done_) {
+        return false;
+    }
+    bool progress = false;
+    for (;;) {
+        Bytes payload;
+        SecureChannel::Recv recv = channel_.recv(payload);
+        if (recv == SecureChannel::Recv::kNeedMore) {
+            break;
+        }
+        if (recv == SecureChannel::Recv::kClosed) {
+            done_ = true;
+            break;
+        }
+        if (recv == SecureChannel::Recv::kFailed) {
+            break;
+        }
+        progress = true;
+        RpcRequest request;
+        if (rpc_decode_request(payload, request) != AttestError::kNone) {
+            // Authenticated-but-malformed payload: an application bug,
+            // not an attack the record layer missed. Report and move
+            // on rather than poisoning the channel.
+            channel_.send(rpc_encode_response(
+                0, static_cast<uint32_t>(ErrorCode::kInval), {}));
+            continue;
+        }
+        Result<Bytes> result = handler_(request.op, request.payload);
+        if (result.ok()) {
+            channel_.send(rpc_encode_response(request.id, 0,
+                                              result.value()));
+        } else {
+            channel_.send(rpc_encode_response(
+                request.id,
+                static_cast<uint32_t>(result.error().code), {}));
+        }
+        ++requests_served_;
+    }
+    return progress;
+}
+
+// ---- RpcClient --------------------------------------------------------
+
+RpcClient::RpcClient(SecureChannel channel) : channel_(std::move(channel))
+{}
+
+uint32_t
+RpcClient::call(uint32_t op, const Bytes &payload)
+{
+    if (channel_.failed()) {
+        return 0;
+    }
+    uint32_t id = next_id_++;
+    if (!channel_.send(rpc_encode_request(id, op, payload))) {
+        return 0;
+    }
+    return id;
+}
+
+RpcClient::Poll
+RpcClient::poll(RpcResponse &out)
+{
+    Bytes payload;
+    switch (channel_.recv(payload)) {
+      case SecureChannel::Recv::kPayload:
+        break;
+      case SecureChannel::Recv::kNeedMore:
+        return Poll::kNeedMore;
+      case SecureChannel::Recv::kClosed:
+        return Poll::kClosed;
+      case SecureChannel::Recv::kFailed:
+        return Poll::kFailed;
+    }
+    if (rpc_decode_response(payload, out) != AttestError::kNone) {
+        return Poll::kFailed;
+    }
+    return Poll::kResponse;
+}
+
+} // namespace occlum::attest

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * A minimal request/response RPC layer over SecureChannel: every
+ * request and response is one encrypted record, so the record layer's
+ * integrity, ordering, and fail-closed guarantees carry over without
+ * extra machinery.
+ *
+ * Payload of a request record (little-endian):
+ *   u32 id      caller-chosen, echoed in the response
+ *   u32 op      method selector, service-defined
+ *   u8  data[]  argument bytes
+ *
+ * Payload of a response record:
+ *   u32 id      echo of the request id
+ *   u32 status  0 = ok, else an ErrorCode from the handler
+ *   u8  data[]  result bytes (empty on error)
+ *
+ * Both sides are non-blocking state machines like the handshake: the
+ * driver loop calls step()/poll() whenever simulated time moved.
+ */
+#ifndef OCCLUM_ATTEST_RPC_H
+#define OCCLUM_ATTEST_RPC_H
+
+#include <functional>
+
+#include "attest/handshake.h"
+
+namespace occlum::attest {
+
+/** One decoded RPC request. */
+struct RpcRequest {
+    uint32_t id = 0;
+    uint32_t op = 0;
+    Bytes payload;
+};
+
+/** One decoded RPC response. */
+struct RpcResponse {
+    uint32_t id = 0;
+    uint32_t status = 0;
+    Bytes payload;
+};
+
+Bytes rpc_encode_request(uint32_t id, uint32_t op, const Bytes &payload);
+Bytes rpc_encode_response(uint32_t id, uint32_t status,
+                          const Bytes &payload);
+/** kBadLength if the record payload is shorter than the header. */
+AttestError rpc_decode_request(const Bytes &wire, RpcRequest &out);
+AttestError rpc_decode_response(const Bytes &wire, RpcResponse &out);
+
+/**
+ * Serves requests off an established channel. The handler returns
+ * result bytes or an error status; transport/record failures poison
+ * the underlying channel and surface through failed().
+ */
+class RpcServer
+{
+  public:
+    using Handler =
+        std::function<Result<Bytes>(uint32_t op, const Bytes &payload)>;
+
+    RpcServer(SecureChannel channel, Handler handler);
+
+    /** Serve any deliverable requests; true if one was processed. */
+    bool step();
+
+    bool failed() const { return channel_.failed(); }
+    /** Peer closed cleanly and everything was served. */
+    bool done() const { return done_; }
+    AttestError error() const { return channel_.error(); }
+    uint64_t requests_served() const { return requests_served_; }
+    SecureChannel &channel() { return channel_; }
+
+  private:
+    SecureChannel channel_;
+    Handler handler_;
+    bool done_ = false;
+    uint64_t requests_served_ = 0;
+};
+
+/**
+ * Issues requests over an established channel. Pipelining is allowed
+ * (multiple calls in flight); responses come back in order because
+ * the record layer enforces ordering.
+ */
+class RpcClient
+{
+  public:
+    explicit RpcClient(SecureChannel channel);
+
+    /** Send one request; returns its id, or 0 if the channel failed. */
+    uint32_t call(uint32_t op, const Bytes &payload);
+
+    enum class Poll : uint8_t { kResponse, kNeedMore, kClosed, kFailed };
+
+    /** Try to receive one response. */
+    Poll poll(RpcResponse &out);
+
+    bool failed() const { return channel_.failed(); }
+    AttestError error() const { return channel_.error(); }
+    uint64_t next_arrival() const { return channel_.next_arrival(); }
+    SecureChannel &channel() { return channel_; }
+
+  private:
+    SecureChannel channel_;
+    uint32_t next_id_ = 1;
+};
+
+} // namespace occlum::attest
+
+#endif // OCCLUM_ATTEST_RPC_H

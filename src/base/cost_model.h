@@ -51,6 +51,17 @@ struct CostModel {
     static constexpr uint64_t kAexCycles = 7'000;
     /** EREPORT + MAC check for one local-attestation handshake leg. */
     static constexpr uint64_t kLocalAttestCycles = 100'000;
+    /** EGETKEY: derive a platform-bound key inside the enclave. */
+    static constexpr uint64_t kEgetkeyCycles = 3'000;
+
+    // ---- Attested channels (src/attest) --------------------------------
+    /**
+     * Fixed per-record cost of the attested channel's record layer:
+     * framing, sequence bookkeeping, and the constant part of the
+     * encrypt-then-MAC pass (per-byte AES/HMAC costs are charged
+     * separately via kAesCyclesPerByte / kHmacCyclesPerByte).
+     */
+    static constexpr uint64_t kAttestRecordFixedCycles = 400;
 
     // ---- Occlum LibOS costs (paper §9.2) -------------------------------
     /**
@@ -102,6 +113,19 @@ struct CostModel {
     static constexpr uint64_t kNetRttCycles = 420'000;
     /** TCP connection accept + setup cost on the host. */
     static constexpr uint64_t kNetAcceptCycles = 20'000;
+    /**
+     * Client retransmission timer for a handshake flight: generous
+     * (several RTTs) because NetSim models loss as delay, so a resend
+     * signals a *badly* delayed flight, not a lost one.
+     */
+    static constexpr uint64_t kAttestRetryCycles = 8 * kNetRttCycles;
+    /**
+     * Fail-closed deadline for a whole attestation handshake: an
+     * endpoint that cannot finish by then reports kTimeout and closes
+     * — it never stays half-open holding partially-derived keys.
+     */
+    static constexpr uint64_t kAttestHandshakeDeadlineCycles =
+        64 * kNetRttCycles;
 
     // ---- Graphene-like EIP baseline -------------------------------------
     /**

@@ -117,4 +117,12 @@ digest_equal(const Sha256Digest &a, const Sha256Digest &b)
     return diff == 0;
 }
 
+Sha256Digest
+hkdf_expand_label(const Sha256Digest &secret, const char *label)
+{
+    HmacKey key(secret.data(), secret.size());
+    return key.mac(reinterpret_cast<const uint8_t *>(label),
+                   std::strlen(label));
+}
+
 } // namespace occlum::crypto

@@ -83,6 +83,15 @@ class HmacKey
 /** Constant-time digest comparison. */
 bool digest_equal(const Sha256Digest &a, const Sha256Digest &b);
 
+/**
+ * Labeled key expansion, HKDF-expand-shaped: HMAC(secret, label).
+ * Distinct ASCII labels partition one secret into independent subkeys
+ * (the attested channel derives its six directional session keys this
+ * way); a label is a domain, never attacker-controlled data.
+ */
+Sha256Digest hkdf_expand_label(const Sha256Digest &secret,
+                               const char *label);
+
 } // namespace occlum::crypto
 
 #endif // OCCLUM_CRYPTO_HMAC_H

@@ -172,6 +172,19 @@ OcclumSystem::OcclumSystem(sgx::Platform &platform,
     }
     OCC_CHECK_MSG(!slots_.empty(),
                   "EPC cannot hold even one domain slot");
+
+    // Stamp the SIGSTRUCT identity before EINIT. The signer digest is
+    // the hash of the verifier's signing key — the same key that
+    // authenticates OELF binaries — mirroring oesign's MRSIGNER.
+    sgx::EnclaveIdentity identity;
+    identity.signer = crypto::Sha256::digest(
+        config_.verifier_key.data(), config_.verifier_key.size());
+    identity.isv_prod_id = config_.isv_prod_id;
+    identity.isv_svn = config_.isv_svn;
+    if (config_.debug_enclave) {
+        identity.attributes |= sgx::EnclaveIdentity::kAttrDebug;
+    }
+    OCC_CHECK(enclave_->set_identity(identity).ok());
     OCC_CHECK(enclave_->init().ok());
 
     // The encrypted FS over an untrusted host block device. A

@@ -91,6 +91,16 @@ class OcclumSystem : public oskit::Kernel
         uint64_t fs_blocks = 1 << 14; // 64 MiB device
         crypto::Key128 verifier_key{};
         crypto::Key128 fs_key{};
+        /**
+         * SIGSTRUCT-shaped launch identity reported by EREPORT (the
+         * signer digest is derived from verifier_key, oesign-style:
+         * MRSIGNER = hash of the signing key). Attestation policies
+         * in src/attest match on these.
+         */
+        uint16_t isv_prod_id = 1;
+        uint16_t isv_svn = 1;
+        /** Launch with the DEBUG attribute (verifiers reject it). */
+        bool debug_enclave = false;
         bool check_signatures = true;
         size_t fs_cache_blocks = 2048;
         /** EncFs sequential readahead depth (0 disables). */

@@ -222,19 +222,72 @@ Enclave::runtime_protect(uint64_t vaddr, uint64_t len, uint8_t perms)
     return Status();
 }
 
+namespace {
+
+/**
+ * The MAC'd report payload: measurement, the full enclave identity,
+ * and user_data. Before identity joined this payload a report with a
+ * forged signer or flipped attribute bits verified fine — the
+ * regression tests in sgx_test.cc pin the fix.
+ */
+Bytes
+report_mac_payload(const Report &report)
+{
+    Bytes payload(report.measurement.begin(), report.measurement.end());
+    payload.insert(payload.end(), report.identity.signer.begin(),
+                   report.identity.signer.end());
+    put_le<uint64_t>(payload, report.identity.attributes);
+    put_le<uint16_t>(payload, report.identity.isv_prod_id);
+    put_le<uint16_t>(payload, report.identity.isv_svn);
+    payload.insert(payload.end(), report.user_data.begin(),
+                   report.user_data.end());
+    return payload;
+}
+
+} // namespace
+
+Status
+Enclave::set_identity(const EnclaveIdentity &identity)
+{
+    if (initialized_) {
+        return Status(ErrorCode::kPerm,
+                      "SIGSTRUCT identity is frozen after EINIT");
+    }
+    identity_ = identity;
+    return Status();
+}
+
+std::array<uint8_t, 64>
+Enclave::bind_user_data(const Bytes &user_data)
+{
+    std::array<uint8_t, 64> bound{};
+    if (user_data.size() <= bound.size()) {
+        // Short data travels verbatim (zero-padded), preserving the
+        // historical behaviour callers of small nonces rely on. An
+        // empty vector's data() may be null, so skip the copy.
+        if (!user_data.empty()) {
+            std::memcpy(bound.data(), user_data.data(), user_data.size());
+        }
+    } else {
+        // Longer data is digest-bound: the old code memcpy'd the
+        // first 64 bytes and silently dropped the rest, so two
+        // transcripts differing only beyond byte 64 produced
+        // identical reports.
+        crypto::Sha256Digest digest = crypto::Sha256::digest(user_data);
+        std::memcpy(bound.data(), digest.data(), digest.size());
+    }
+    return bound;
+}
+
 Report
 Enclave::create_report(const Bytes &user_data) const
 {
     OCC_CHECK_MSG(initialized_, "EREPORT before EINIT");
     Report report;
     report.measurement = measurement_;
-    if (!user_data.empty()) {
-        std::memcpy(report.user_data.data(), user_data.data(),
-                    std::min(user_data.size(), report.user_data.size()));
-    }
-    Bytes payload(report.measurement.begin(), report.measurement.end());
-    payload.insert(payload.end(), report.user_data.begin(),
-                   report.user_data.end());
+    report.identity = identity_;
+    report.user_data = bind_user_data(user_data);
+    Bytes payload = report_mac_payload(report);
     report.mac = crypto::hmac_sha256(platform_->report_key().data(),
                                      platform_->report_key().size(),
                                      payload.data(), payload.size());
@@ -246,14 +299,30 @@ Enclave::create_report(const Bytes &user_data) const
 bool
 Enclave::verify_report(const Platform &platform, const Report &report)
 {
-    Bytes payload(report.measurement.begin(), report.measurement.end());
-    payload.insert(payload.end(), report.user_data.begin(),
-                   report.user_data.end());
+    Bytes payload = report_mac_payload(report);
     crypto::Sha256Digest expect =
         crypto::hmac_sha256(platform.report_key().data(),
                             platform.report_key().size(), payload.data(),
                             payload.size());
     return crypto::digest_equal(expect, report.mac);
+}
+
+crypto::Sha256Digest
+Enclave::derive_platform_key(const Bytes &label) const
+{
+    OCC_CHECK_MSG(initialized_, "EGETKEY before EINIT");
+    // Platform-wide derivation: keyed by the report key (which only
+    // enclaves can reach), salted with a fixed domain-separation
+    // prefix so a derived key can never collide with a report MAC.
+    Bytes msg;
+    const char *prefix = "occlum.egetkey.v1:";
+    msg.insert(msg.end(), prefix, prefix + std::strlen(prefix));
+    msg.insert(msg.end(), label.begin(), label.end());
+    OCC_TRACE_SPAN(kSgx, "sgx.egetkey");
+    platform_->clock().advance(CostModel::kEgetkeyCycles);
+    return crypto::hmac_sha256(platform_->report_key().data(),
+                               platform_->report_key().size(), msg.data(),
+                               msg.size());
 }
 
 } // namespace occlum::sgx

@@ -74,9 +74,40 @@ class Platform
     crypto::Key128 report_key_;
 };
 
-/** A local-attestation report (EREPORT output). */
+/**
+ * SIGSTRUCT-shaped enclave identity, configured before EINIT. The
+ * signer digest models MRSIGNER (hash of the signing key, what oesign
+ * stamps into SIGSTRUCT); attributes carry flag bits such as DEBUG;
+ * isv_prod_id / isv_svn are the product and security-version numbers
+ * verification policies match on. Identity is not part of MRENCLAVE
+ * (as on real hardware), but every field is covered by the report MAC.
+ */
+struct EnclaveIdentity {
+    /** The DEBUG attribute bit: secrets must not flow to debug enclaves. */
+    static constexpr uint64_t kAttrDebug = 1ull << 1;
+
+    crypto::Sha256Digest signer{};
+    uint64_t attributes = 0;
+    uint16_t isv_prod_id = 0;
+    uint16_t isv_svn = 0;
+
+    bool
+    operator==(const EnclaveIdentity &other) const
+    {
+        return signer == other.signer && attributes == other.attributes &&
+               isv_prod_id == other.isv_prod_id &&
+               isv_svn == other.isv_svn;
+    }
+};
+
+/**
+ * A local-attestation report (EREPORT output). The MAC covers the
+ * measurement, the full enclave identity, and user_data — a report
+ * with a forged signer or attributes must not verify.
+ */
 struct Report {
     crypto::Sha256Digest measurement{};
+    EnclaveIdentity identity{};
     std::array<uint8_t, 64> user_data{};
     crypto::Sha256Digest mac{};
 };
@@ -114,6 +145,14 @@ class Enclave
      */
     Status measure_reserved(uint64_t len);
 
+    /**
+     * Stamp the SIGSTRUCT-shaped identity (signer, attributes, ISV
+     * prod id / SVN) reported by EREPORT. Like SIGSTRUCT, identity is
+     * fixed at launch: fails with kPerm after init().
+     */
+    Status set_identity(const EnclaveIdentity &identity);
+    const EnclaveIdentity &identity() const { return identity_; }
+
     /** EINIT: finalize the measurement; enables enter(). */
     Status init();
 
@@ -138,12 +177,32 @@ class Enclave
     void charge_eexit();
     void charge_aex();
 
-    /** EREPORT: produce a local-attestation report over `user_data`. */
+    /**
+     * EREPORT: produce a local-attestation report binding `user_data`.
+     * Data up to the 64-byte report field is carried verbatim
+     * (zero-padded); longer data is bound by its SHA-256 digest in the
+     * first 32 bytes — never silently truncated, so every byte of an
+     * arbitrary-length handshake transcript stays authenticated.
+     */
     Report create_report(const Bytes &user_data) const;
+
+    /** The report_data bytes create_report(user_data) would bind. */
+    static std::array<uint8_t, 64> bind_user_data(const Bytes &user_data);
 
     /** Verify a report against this platform's report key. */
     static bool verify_report(const Platform &platform,
                               const Report &report);
+
+    /**
+     * EGETKEY-shaped platform key derivation: any initialized enclave
+     * on the same platform derives the same 32-byte key for a given
+     * label, and no code outside an enclave can (the host never holds
+     * the report key). Models the shared platform-bound key two local
+     * enclaves use to key a channel after attesting each other; it
+     * proves *co-residency*, not identity — identity comes from
+     * verify_report (see DESIGN.md §8 threat model).
+     */
+    crypto::Sha256Digest derive_platform_key(const Bytes &label) const;
 
     /** Total pages EADDed so far. */
     uint64_t added_pages() const { return added_pages_; }
@@ -159,6 +218,7 @@ class Enclave
     /** Reused per-page hasher for EEXTEND content measurement. */
     crypto::Sha256 page_hasher_;
     crypto::Sha256Digest measurement_{};
+    EnclaveIdentity identity_{};
     bool initialized_ = false;
     uint64_t added_pages_ = 0;
     uint64_t reserved_bytes_ = 0;

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The attested key-release scenario: two OcclumSystem enclaves on one
+ * platform and one NetSim run a mutual attestation handshake, then an
+ * encrypted RPC session in which the server releases a secret from
+ * its encrypted FS only over the attested channel, followed by a
+ * configurable bulk-RPC phase for throughput measurement.
+ *
+ * This is the end-to-end exercise of src/attest: evidence from real
+ * enclave EREPORTs, policies pinned to the peer's actual measurement
+ * and signer, wire bytes through NetSim (so faultsim's net drop /
+ * duplicate / short-read sites apply), and costs on the shared
+ * platform clock. bench_attested_rpc and ci_faults.sh plan 5 both
+ * drive it.
+ */
+#ifndef OCCLUM_WORKLOADS_ATTESTED_RPC_H
+#define OCCLUM_WORKLOADS_ATTESTED_RPC_H
+
+#include <string>
+
+#include "attest/rpc.h"
+#include "workloads/workloads.h"
+
+namespace occlum::workloads {
+
+struct AttestedRpcOptions {
+    /** Bulk RPCs after the key release. */
+    int requests = 32;
+    size_t request_bytes = 64;
+    size_t response_bytes = 1024;
+    /** Pipelined requests in flight. */
+    int window = 4;
+    /** Ablation: plaintext records (framing kept, crypto off). */
+    bool plaintext = false;
+    /** Background SIPs on the server system (AEX-storm fodder). */
+    int background_sips = 0;
+    uint64_t seed = 42;
+};
+
+struct AttestedRpcReport {
+    bool ok = false;
+    /** attest_error_name of the first failure ("" when ok). */
+    std::string error;
+    /** True iff both endpoints derived byte-identical session keys. */
+    bool keys_match = false;
+    /** True iff the released secret matched the server's EncFs copy. */
+    bool secret_released = false;
+    uint64_t handshake_cycles = 0;
+    uint64_t total_cycles = 0;
+    uint64_t records = 0;
+    uint64_t payload_bytes = 0;
+    uint64_t retransmits = 0;
+};
+
+/** Run the scenario; panics only on harness bugs, never on injected
+ *  faults (those surface as !ok + an error name, fail-closed). */
+AttestedRpcReport run_attested_rpc(const AttestedRpcOptions &options);
+
+} // namespace occlum::workloads
+
+#endif // OCCLUM_WORKLOADS_ATTESTED_RPC_H

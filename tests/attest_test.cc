@@ -1,0 +1,877 @@
+/**
+ * @file
+ * src/attest tests: evidence encode/parse, policy verification,
+ * mutual handshake (honest path + every rejection class), the
+ * adversarial tamper battery over evidence bytes and record bytes,
+ * replay defences at both the nonce and record-sequence levels,
+ * retransmission/fail-closed timing, and the end-to-end attested
+ * key-release scenario (including under injected network faults).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attest/handshake.h"
+#include "attest/rpc.h"
+#include "faultsim/faultsim.h"
+#include "workloads/attested_rpc.h"
+
+namespace occlum::attest {
+namespace {
+
+using faultsim::FaultPlan;
+using faultsim::ScopedFaultPlan;
+
+constexpr uint16_t kPort = 4711;
+constexpr uint64_t kBase = 0x10000000;
+
+/** A minimal initialized enclave with a distinctive identity. */
+std::unique_ptr<sgx::Enclave>
+make_enclave(sgx::Platform &platform, uint8_t content_fill,
+             uint64_t attributes = 0, uint16_t isv_svn = 2)
+{
+    auto enclave =
+        std::make_unique<sgx::Enclave>(platform, kBase, 1 << 20);
+    Bytes content(vm::kPageSize, content_fill);
+    EXPECT_TRUE(
+        enclave->add_pages(kBase, vm::kPageSize, vm::kPermRX, content)
+            .ok());
+    sgx::EnclaveIdentity identity;
+    for (size_t i = 0; i < identity.signer.size(); ++i) {
+        identity.signer[i] = static_cast<uint8_t>(0x51 + i);
+    }
+    identity.attributes = attributes;
+    identity.isv_prod_id = 7;
+    identity.isv_svn = isv_svn;
+    EXPECT_TRUE(enclave->set_identity(identity).ok());
+    EXPECT_TRUE(enclave->init().ok());
+    return enclave;
+}
+
+/** Policy that accepts exactly `enclave`. */
+Policy
+pin_policy(const sgx::Enclave &enclave)
+{
+    Policy policy;
+    policy.allowed_measurements = {enclave.measurement()};
+    policy.allowed_signers = {enclave.identity().signer};
+    policy.min_isv_svn = 1;
+    return policy;
+}
+
+/**
+ * Harness owning everything one handshake needs: a platform, two
+ * enclaves, a NetSim connection, per-side verifiers, and the two
+ * endpoint state machines.
+ */
+struct Rig {
+    sgx::Platform platform;
+    host::NetSim net{platform.clock()};
+    std::unique_ptr<sgx::Enclave> client_enclave;
+    std::unique_ptr<sgx::Enclave> server_enclave;
+    std::unique_ptr<Verifier> client_verifier;
+    std::unique_ptr<Verifier> server_verifier;
+    host::NetSim::Connection *conn = nullptr;
+    std::unique_ptr<HandshakeEndpoint> client;
+    std::unique_ptr<HandshakeEndpoint> server;
+
+    explicit Rig(uint64_t attributes_client = 0,
+                 uint16_t client_svn = 2)
+    {
+        client_enclave =
+            make_enclave(platform, 0x11, attributes_client, client_svn);
+        server_enclave = make_enclave(platform, 0x22);
+        client_verifier = std::make_unique<Verifier>(
+            platform, pin_policy(*server_enclave));
+        server_verifier = std::make_unique<Verifier>(
+            platform, pin_policy(*client_enclave));
+    }
+
+    host::NetSim::Connection *
+    dial()
+    {
+        (void)net.listen(kPort, 4); // idempotent across dials
+        auto result = net.connect(kPort);
+        EXPECT_TRUE(result.ok());
+        host::NetSim::Connection *accepted = nullptr;
+        while ((accepted = net.try_accept(
+                    kPort, platform.clock().cycles())) == nullptr) {
+            uint64_t wake = net.next_accept_time(kPort);
+            EXPECT_NE(wake, ~0ull);
+            platform.clock().advance(wake - platform.clock().cycles());
+        }
+        EXPECT_EQ(accepted, result.value());
+        return accepted;
+    }
+
+    /** Build both endpoints over a fresh connection. */
+    void
+    start(uint64_t seed = 77)
+    {
+        conn = dial();
+        EndpointConfig client_cfg;
+        client_cfg.is_server = false;
+        client_cfg.nonce_seed = seed;
+        EndpointConfig server_cfg;
+        server_cfg.is_server = true;
+        server_cfg.nonce_seed = seed + 1;
+        client = std::make_unique<HandshakeEndpoint>(
+            platform, *client_enclave, *client_verifier,
+            Transport(net, conn, false, platform.clock()), client_cfg);
+        server = std::make_unique<HandshakeEndpoint>(
+            platform, *server_enclave, *server_verifier,
+            Transport(net, conn, true, platform.clock()), server_cfg);
+    }
+
+    /** Drive both endpoints until each is established or failed. */
+    void
+    drive()
+    {
+        auto terminal = [](HandshakeEndpoint &endpoint) {
+            return endpoint.established() || endpoint.failed();
+        };
+        int guard = 0;
+        while (!(terminal(*client) && terminal(*server))) {
+            ASSERT_LT(++guard, 100000) << "handshake drive stalled";
+            bool progress = server->step();
+            progress |= client->step();
+            if (!progress) {
+                uint64_t wake = std::min(client->next_event_time(),
+                                         server->next_event_time());
+                ASSERT_NE(wake, ~0ull);
+                ASSERT_GT(wake, platform.clock().cycles());
+                platform.clock().advance(wake -
+                                         platform.clock().cycles());
+            }
+        }
+    }
+};
+
+/** Deterministic session keys for codec-level tests. */
+SessionKeys
+test_keys()
+{
+    SessionKeys keys;
+    for (size_t i = 0; i < 16; ++i) {
+        keys.enc_c2s[i] = static_cast<uint8_t>(i + 1);
+        keys.enc_s2c[i] = static_cast<uint8_t>(0x80 + i);
+    }
+    for (size_t i = 0; i < 32; ++i) {
+        keys.mac_c2s[i] = static_cast<uint8_t>(0x30 + i);
+        keys.mac_s2c[i] = static_cast<uint8_t>(0x60 + i);
+    }
+    for (size_t i = 0; i < 12; ++i) {
+        keys.iv_c2s[i] = static_cast<uint8_t>(0xA0 + i);
+        keys.iv_s2c[i] = static_cast<uint8_t>(0xC0 + i);
+    }
+    return keys;
+}
+
+// ---------------------------------------------------------------------
+// Evidence encoding
+// ---------------------------------------------------------------------
+
+TEST(Evidence, RoundTripsAndBindsIdentity)
+{
+    sgx::Platform platform;
+    auto enclave = make_enclave(platform, 0x33);
+    Bytes binding(32, 0xAB);
+    Evidence evidence;
+    evidence.report = enclave->create_report(binding);
+
+    Bytes wire = evidence.serialize();
+    ASSERT_EQ(wire.size(), Evidence::kWireSize);
+
+    Evidence parsed;
+    ASSERT_EQ(Evidence::parse(wire, parsed), AttestError::kNone);
+    EXPECT_EQ(parsed.report.measurement, evidence.report.measurement);
+    EXPECT_TRUE(parsed.report.identity == evidence.report.identity);
+    EXPECT_EQ(parsed.report.user_data, evidence.report.user_data);
+    EXPECT_EQ(parsed.report.mac, evidence.report.mac);
+    EXPECT_TRUE(sgx::Enclave::verify_report(platform, parsed.report));
+}
+
+TEST(Evidence, ParseIsStrict)
+{
+    sgx::Platform platform;
+    auto enclave = make_enclave(platform, 0x33);
+    Evidence evidence;
+    evidence.report = enclave->create_report(Bytes(32, 1));
+    Bytes wire = evidence.serialize();
+
+    Evidence out;
+    Bytes shorter(wire.begin(), wire.end() - 1);
+    EXPECT_EQ(Evidence::parse(shorter, out),
+              AttestError::kBadEvidenceEncoding);
+    Bytes longer = wire;
+    longer.push_back(0);
+    EXPECT_EQ(Evidence::parse(longer, out),
+              AttestError::kBadEvidenceEncoding);
+    Bytes bad_magic = wire;
+    bad_magic[0] ^= 1;
+    EXPECT_EQ(Evidence::parse(bad_magic, out),
+              AttestError::kBadEvidenceEncoding);
+    Bytes bad_version = wire;
+    bad_version[4] ^= 1;
+    EXPECT_EQ(Evidence::parse(bad_version, out),
+              AttestError::kBadEvidenceEncoding);
+}
+
+// ---------------------------------------------------------------------
+// Verifier policy
+// ---------------------------------------------------------------------
+
+TEST(Verifier, EmptyPolicyFailsClosed)
+{
+    sgx::Platform platform;
+    auto enclave = make_enclave(platform, 0x44);
+    crypto::Sha256Digest binding{};
+    Evidence evidence;
+    evidence.report =
+        enclave->create_report(Bytes(binding.begin(), binding.end()));
+
+    Verifier verifier(platform, Policy{});
+    EXPECT_EQ(verifier.verify(evidence, binding),
+              AttestError::kWrongMeasurement);
+}
+
+TEST(Verifier, RejectionClassesAreDistinct)
+{
+    sgx::Platform platform;
+    auto enclave = make_enclave(platform, 0x44);
+    crypto::Sha256Digest binding{};
+    binding.fill(0x77);
+    Evidence evidence;
+    evidence.report =
+        enclave->create_report(Bytes(binding.begin(), binding.end()));
+
+    Policy good = pin_policy(*enclave);
+    EXPECT_EQ(Verifier(platform, good).verify(evidence, binding),
+              AttestError::kNone);
+
+    Policy wrong_measurement = good;
+    wrong_measurement.allowed_measurements = {crypto::Sha256Digest{}};
+    EXPECT_EQ(
+        Verifier(platform, wrong_measurement).verify(evidence, binding),
+        AttestError::kWrongMeasurement);
+
+    Policy wrong_signer = good;
+    wrong_signer.allowed_signers = {crypto::Sha256Digest{}};
+    EXPECT_EQ(Verifier(platform, wrong_signer).verify(evidence, binding),
+              AttestError::kWrongSigner);
+
+    Policy high_svn = good;
+    high_svn.min_isv_svn = 99;
+    EXPECT_EQ(Verifier(platform, high_svn).verify(evidence, binding),
+              AttestError::kLowSvn);
+
+    crypto::Sha256Digest other_binding = binding;
+    other_binding[0] ^= 1;
+    EXPECT_EQ(Verifier(platform, good).verify(evidence, other_binding),
+              AttestError::kBadBinding);
+
+    // DEBUG attribute: enclave launched with it must be rejected
+    // unless the policy opts in.
+    auto debug_enclave = make_enclave(
+        platform, 0x45, sgx::EnclaveIdentity::kAttrDebug);
+    Evidence debug_evidence;
+    debug_evidence.report = debug_enclave->create_report(
+        Bytes(binding.begin(), binding.end()));
+    Policy debug_policy = pin_policy(*debug_enclave);
+    EXPECT_EQ(
+        Verifier(platform, debug_policy).verify(debug_evidence, binding),
+        AttestError::kDebugForbidden);
+    debug_policy.allow_debug = true;
+    EXPECT_EQ(
+        Verifier(platform, debug_policy).verify(debug_evidence, binding),
+        AttestError::kNone);
+}
+
+TEST(Verifier, NonceReplayCachePersists)
+{
+    sgx::Platform platform;
+    Verifier verifier(platform, Policy{});
+    Nonce nonce{};
+    nonce.fill(9);
+    EXPECT_EQ(verifier.consume_nonce(nonce), AttestError::kNone);
+    EXPECT_EQ(verifier.consume_nonce(nonce),
+              AttestError::kReplayedNonce);
+    EXPECT_EQ(verifier.nonces_seen(), 1u);
+}
+
+/**
+ * Satellite (c), evidence half: every byte of the serialized evidence
+ * is flipped and the blob re-submitted. Each flip must be rejected,
+ * and with the *right* class: header flips fail strict parsing,
+ * payload and MAC flips fail the report MAC (nothing else is reached
+ * first — the MAC covers measurement, identity, and user_data alike).
+ */
+TEST(Verifier, TamperedEvidenceByteFlipBattery)
+{
+    sgx::Platform platform;
+    auto enclave = make_enclave(platform, 0x46);
+    crypto::Sha256Digest binding{};
+    binding.fill(0x13);
+    Evidence evidence;
+    evidence.report =
+        enclave->create_report(Bytes(binding.begin(), binding.end()));
+    Bytes wire = evidence.serialize();
+    Verifier verifier(platform, pin_policy(*enclave));
+
+    Evidence pristine;
+    ASSERT_EQ(Evidence::parse(wire, pristine), AttestError::kNone);
+    ASSERT_EQ(verifier.verify(pristine, binding), AttestError::kNone);
+
+    for (size_t i = 0; i < wire.size(); ++i) {
+        Bytes tampered = wire;
+        tampered[i] ^= 0x40;
+        Evidence parsed;
+        AttestError err = Evidence::parse(tampered, parsed);
+        if (err == AttestError::kNone) {
+            err = verifier.verify(parsed, binding);
+        }
+        ASSERT_NE(err, AttestError::kNone)
+            << "byte " << i << " flip accepted";
+        if (i < 8) {
+            EXPECT_EQ(err, AttestError::kBadEvidenceEncoding)
+                << "byte " << i;
+        } else {
+            EXPECT_EQ(err, AttestError::kBadReportMac) << "byte " << i;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Record layer
+// ---------------------------------------------------------------------
+
+TEST(RecordCodec, RoundTripsBothDirections)
+{
+    SessionKeys keys = test_keys();
+    RecordCodec client(keys, false);
+    RecordCodec server(keys, true);
+
+    Bytes payload = {'s', 'e', 'c', 'r', 'e', 't'};
+    Bytes frame = client.seal(payload);
+    // Ciphertext on the wire, not plaintext.
+    EXPECT_EQ(std::search(frame.begin(), frame.end(), payload.begin(),
+                          payload.end()),
+              frame.end());
+
+    FrameType type;
+    uint32_t body_len = 0;
+    ASSERT_EQ(parse_frame_header(frame.data(), type, body_len),
+              AttestError::kNone);
+    ASSERT_EQ(type, FrameType::kRecord);
+    Bytes body(frame.begin() + kFrameHeaderSize, frame.end());
+    ASSERT_EQ(body.size(), body_len);
+
+    Bytes out;
+    ASSERT_EQ(server.open(body, out), AttestError::kNone);
+    EXPECT_EQ(out, payload);
+
+    Bytes reply_frame = server.seal({'o', 'k'});
+    Bytes reply_body(reply_frame.begin() + kFrameHeaderSize,
+                     reply_frame.end());
+    Bytes reply;
+    ASSERT_EQ(client.open(reply_body, reply), AttestError::kNone);
+    EXPECT_EQ(reply, (Bytes{'o', 'k'}));
+}
+
+/**
+ * Satellite (c), record half: flip every byte of a sealed record.
+ * Header corruption fails framing with its own codes; everything
+ * after the header (seq, ciphertext, MAC trailer) fails the
+ * encrypt-then-MAC check — and the codec state stays untouched, so
+ * the genuine record still opens afterwards.
+ */
+TEST(RecordCodec, TamperBatteryEveryByteRejected)
+{
+    SessionKeys keys = test_keys();
+    RecordCodec client(keys, false);
+    Bytes payload(48, 0x7e);
+    Bytes frame = client.seal(payload);
+
+    for (size_t i = 0; i < frame.size(); ++i) {
+        RecordCodec server(keys, true);
+        Bytes tampered = frame;
+        tampered[i] ^= 0x04;
+
+        FrameType type;
+        uint32_t body_len = 0;
+        AttestError err =
+            parse_frame_header(tampered.data(), type, body_len);
+        if (err == AttestError::kNone &&
+            (type != FrameType::kRecord ||
+             body_len != tampered.size() - kFrameHeaderSize)) {
+            // Type or length flip: the transport would mis-slice the
+            // stream; a strict receiver treats it as framing garbage.
+            err = AttestError::kBadLength;
+        }
+        if (err == AttestError::kNone) {
+            Bytes body(tampered.begin() + kFrameHeaderSize,
+                       tampered.end());
+            Bytes out;
+            err = server.open(body, out);
+        }
+        ASSERT_NE(err, AttestError::kNone)
+            << "record byte " << i << " flip accepted";
+        if (i >= kFrameHeaderSize) {
+            EXPECT_EQ(err, AttestError::kBadRecordMac)
+                << "record byte " << i;
+        }
+
+        // The pristine record still opens: rejection is stateless.
+        Bytes body(frame.begin() + kFrameHeaderSize, frame.end());
+        Bytes out;
+        EXPECT_EQ(server.open(body, out), AttestError::kNone);
+    }
+
+    // Canonical header classes.
+    {
+        Bytes bad = frame;
+        bad[0] ^= 0xFF; // magic low byte
+        FrameType type;
+        uint32_t len;
+        EXPECT_EQ(parse_frame_header(bad.data(), type, len),
+                  AttestError::kBadMagic);
+        bad = frame;
+        bad[3] ^= 0xFF; // version
+        EXPECT_EQ(parse_frame_header(bad.data(), type, len),
+                  AttestError::kBadVersion);
+        bad = frame;
+        bad[6] = 0xFF; // length blown past kMaxFrameBody
+        EXPECT_EQ(parse_frame_header(bad.data(), type, len),
+                  AttestError::kBadLength);
+    }
+}
+
+TEST(RecordCodec, ReplayAndReorderRejected)
+{
+    SessionKeys keys = test_keys();
+    RecordCodec client(keys, false);
+    RecordCodec server(keys, true);
+
+    Bytes frame0 = client.seal({'a'});
+    Bytes frame1 = client.seal({'b'});
+    Bytes body0(frame0.begin() + kFrameHeaderSize, frame0.end());
+    Bytes body1(frame1.begin() + kFrameHeaderSize, frame1.end());
+
+    Bytes out;
+    // Reorder: record 1 before record 0.
+    EXPECT_EQ(server.open(body1, out), AttestError::kStaleSeq);
+    ASSERT_EQ(server.open(body0, out), AttestError::kNone);
+    // Replay of a delivered record.
+    EXPECT_EQ(server.open(body0, out), AttestError::kStaleSeq);
+    ASSERT_EQ(server.open(body1, out), AttestError::kNone);
+    EXPECT_EQ(out, Bytes{'b'});
+}
+
+TEST(RecordCodec, PlaintextAblationKeepsFramingAndSeq)
+{
+    SessionKeys keys = test_keys();
+    RecordCodec client(keys, false, nullptr, /*plaintext=*/true);
+    RecordCodec server(keys, true, nullptr, /*plaintext=*/true);
+
+    Bytes payload = {'p', 'l', 'a', 'i', 'n'};
+    Bytes frame = client.seal(payload);
+    // No MAC trailer, payload carried verbatim.
+    EXPECT_EQ(frame.size(), kFrameHeaderSize + 8 + payload.size());
+    EXPECT_NE(std::search(frame.begin(), frame.end(), payload.begin(),
+                          payload.end()),
+              frame.end());
+
+    Bytes body(frame.begin() + kFrameHeaderSize, frame.end());
+    Bytes out;
+    ASSERT_EQ(server.open(body, out), AttestError::kNone);
+    EXPECT_EQ(out, payload);
+    // Sequence discipline survives the ablation.
+    EXPECT_EQ(server.open(body, out), AttestError::kStaleSeq);
+}
+
+// ---------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------
+
+TEST(Handshake, HonestPathDerivesIdenticalDirectionalKeys)
+{
+    Rig rig;
+    rig.start();
+    rig.drive();
+
+    ASSERT_TRUE(rig.client->established())
+        << attest_error_name(rig.client->error());
+    ASSERT_TRUE(rig.server->established())
+        << attest_error_name(rig.server->error());
+    EXPECT_TRUE(rig.client->keys() == rig.server->keys());
+    EXPECT_GT(rig.client->handshake_cycles(), 0u);
+    // Each side saw the other's true identity.
+    EXPECT_EQ(rig.client->peer_evidence().report.measurement,
+              rig.server_enclave->measurement());
+    EXPECT_EQ(rig.server->peer_evidence().report.measurement,
+              rig.client_enclave->measurement());
+    // Directional keys differ (c2s vs s2c are independent secrets).
+    EXPECT_NE(rig.client->keys().enc_c2s, rig.client->keys().enc_s2c);
+}
+
+TEST(Handshake, WrongServerMeasurementRejectedByClient)
+{
+    Rig rig;
+    // Client expects some other enclave as its server.
+    Policy wrong = pin_policy(*rig.client_enclave);
+    rig.client_verifier = std::make_unique<Verifier>(rig.platform, wrong);
+    rig.start();
+    rig.drive();
+
+    ASSERT_TRUE(rig.client->failed());
+    EXPECT_EQ(rig.client->error(), AttestError::kWrongMeasurement);
+    // The server learns only "peer aborted", fail-closed on both ends.
+    ASSERT_TRUE(rig.server->failed());
+    EXPECT_EQ(rig.server->error(), AttestError::kPeerAlert);
+}
+
+TEST(Handshake, WrongClientSignerRejectedByServer)
+{
+    Rig rig;
+    Policy wrong = pin_policy(*rig.client_enclave);
+    wrong.allowed_signers = {crypto::Sha256Digest{}};
+    rig.server_verifier = std::make_unique<Verifier>(rig.platform, wrong);
+    rig.start();
+    rig.drive();
+
+    ASSERT_TRUE(rig.server->failed());
+    EXPECT_EQ(rig.server->error(), AttestError::kWrongSigner);
+    ASSERT_TRUE(rig.client->failed());
+    EXPECT_EQ(rig.client->error(), AttestError::kPeerAlert);
+}
+
+TEST(Handshake, DebugClientRejected)
+{
+    Rig rig(sgx::EnclaveIdentity::kAttrDebug);
+    rig.start();
+    rig.drive();
+    ASSERT_TRUE(rig.server->failed());
+    EXPECT_EQ(rig.server->error(), AttestError::kDebugForbidden);
+}
+
+TEST(Handshake, LowSvnClientRejected)
+{
+    Rig rig(0, /*client_svn=*/0);
+    rig.start();
+    rig.drive();
+    ASSERT_TRUE(rig.server->failed());
+    EXPECT_EQ(rig.server->error(), AttestError::kLowSvn);
+}
+
+/**
+ * Replayed handshake: a second client reusing the first handshake's
+ * nonce stream (same seed => byte-identical ClientHello) against the
+ * same server verifier. Every MAC in the recording is genuine; only
+ * the nonce cache can catch it — and must.
+ */
+TEST(Handshake, ReplayedClientHelloRejected)
+{
+    Rig rig;
+    rig.start(/*seed=*/1234);
+    rig.drive();
+    ASSERT_TRUE(rig.client->established());
+    ASSERT_TRUE(rig.server->established());
+
+    // Same seed => the "recording". New connection, same verifier.
+    host::NetSim::Connection *replay_conn = rig.dial();
+    EndpointConfig client_cfg;
+    client_cfg.is_server = false;
+    client_cfg.nonce_seed = 1234; // identical nonce stream
+    EndpointConfig server_cfg;
+    server_cfg.is_server = true;
+    server_cfg.nonce_seed = 999;
+    HandshakeEndpoint replay_client(
+        rig.platform, *rig.client_enclave, *rig.client_verifier,
+        Transport(rig.net, replay_conn, false, rig.platform.clock()),
+        client_cfg);
+    HandshakeEndpoint replay_server(
+        rig.platform, *rig.server_enclave, *rig.server_verifier,
+        Transport(rig.net, replay_conn, true, rig.platform.clock()),
+        server_cfg);
+
+    int guard = 0;
+    while (!(replay_client.failed() || replay_client.established()) ||
+           !(replay_server.failed() || replay_server.established())) {
+        ASSERT_LT(++guard, 100000);
+        bool progress = replay_server.step();
+        progress |= replay_client.step();
+        if (!progress) {
+            uint64_t wake = std::min(replay_client.next_event_time(),
+                                     replay_server.next_event_time());
+            ASSERT_NE(wake, ~0ull);
+            rig.platform.clock().advance(wake -
+                                         rig.platform.clock().cycles());
+        }
+    }
+    ASSERT_TRUE(replay_server.failed());
+    EXPECT_EQ(replay_server.error(), AttestError::kReplayedNonce);
+    ASSERT_TRUE(replay_client.failed());
+    EXPECT_EQ(replay_client.error(), AttestError::kPeerAlert);
+}
+
+/** A mute server: the client must retransmit, then fail closed. */
+TEST(Handshake, RetransmitsThenFailsClosed)
+{
+    Rig rig;
+    host::NetSim::Connection *conn = rig.dial();
+    EndpointConfig cfg;
+    cfg.is_server = false;
+    cfg.nonce_seed = 5;
+    HandshakeEndpoint client(
+        rig.platform, *rig.client_enclave, *rig.client_verifier,
+        Transport(rig.net, conn, false, rig.platform.clock()), cfg);
+
+    uint64_t deadline =
+        rig.platform.clock().cycles() + cfg.deadline_cycles;
+    int guard = 0;
+    while (!client.failed()) {
+        ASSERT_LT(++guard, 100000);
+        if (!client.step()) {
+            uint64_t wake = client.next_event_time();
+            ASSERT_NE(wake, ~0ull);
+            ASSERT_GT(wake, rig.platform.clock().cycles());
+            rig.platform.clock().advance(wake -
+                                         rig.platform.clock().cycles());
+        }
+    }
+    EXPECT_EQ(client.error(), AttestError::kTimeout);
+    EXPECT_GE(client.retransmits(), 3u);
+    EXPECT_TRUE(client.transport().closed());
+    // The deadline is honored, not overshot by more than a step.
+    EXPECT_GE(rig.platform.clock().cycles(), deadline);
+}
+
+TEST(Handshake, ShortReadsReassembleFrames)
+{
+    FaultPlan plan;
+    plan.seed = 99;
+    plan.net_short_read = 1.0; // every recv halves its capacity
+    ScopedFaultPlan scoped(plan);
+
+    Rig rig;
+    rig.start();
+    rig.drive();
+    ASSERT_TRUE(rig.client->established())
+        << attest_error_name(rig.client->error());
+    ASSERT_TRUE(rig.server->established());
+    EXPECT_TRUE(rig.client->keys() == rig.server->keys());
+}
+
+// ---------------------------------------------------------------------
+// Secure channel + RPC over an established handshake
+// ---------------------------------------------------------------------
+
+struct ChannelRig : Rig {
+    std::unique_ptr<SecureChannel> client_channel;
+    std::unique_ptr<SecureChannel> server_channel;
+
+    void
+    establish()
+    {
+        start();
+        drive();
+        ASSERT_TRUE(client->established());
+        ASSERT_TRUE(server->established());
+        client_channel = std::make_unique<SecureChannel>(
+            RecordCodec(client->keys(), false, &platform.clock()),
+            &client->transport());
+        server_channel = std::make_unique<SecureChannel>(
+            RecordCodec(server->keys(), true, &platform.clock()),
+            &server->transport());
+    }
+
+    /** Pump until `channel` yields one payload (or fails). */
+    SecureChannel::Recv
+    pump_recv(SecureChannel &channel, Bytes &out)
+    {
+        for (int i = 0; i < 10000; ++i) {
+            SecureChannel::Recv recv = channel.recv(out);
+            if (recv != SecureChannel::Recv::kNeedMore) {
+                return recv;
+            }
+            uint64_t wake = channel.next_arrival();
+            if (wake == ~0ull) {
+                return SecureChannel::Recv::kNeedMore;
+            }
+            if (wake > platform.clock().cycles()) {
+                platform.clock().advance(wake -
+                                         platform.clock().cycles());
+            }
+        }
+        return SecureChannel::Recv::kNeedMore;
+    }
+};
+
+TEST(SecureChannel, DeliversPayloadsBothWays)
+{
+    ChannelRig rig;
+    rig.establish();
+
+    ASSERT_TRUE(rig.client_channel->send({'p', 'i', 'n', 'g'}));
+    Bytes got;
+    ASSERT_EQ(rig.pump_recv(*rig.server_channel, got),
+              SecureChannel::Recv::kPayload);
+    EXPECT_EQ(got, (Bytes{'p', 'i', 'n', 'g'}));
+
+    ASSERT_TRUE(rig.server_channel->send({'p', 'o', 'n', 'g'}));
+    ASSERT_EQ(rig.pump_recv(*rig.client_channel, got),
+              SecureChannel::Recv::kPayload);
+    EXPECT_EQ(got, (Bytes{'p', 'o', 'n', 'g'}));
+}
+
+/**
+ * A record tampered in flight poisons the channel: the receiver
+ * rejects it, alerts, closes, and refuses everything afterwards —
+ * no resync, no partial delivery.
+ */
+TEST(SecureChannel, TamperedRecordPoisonsChannelFailClosed)
+{
+    ChannelRig rig;
+    rig.establish();
+
+    ASSERT_TRUE(rig.client_channel->send(Bytes(64, 0x11)));
+    // Corrupt the in-flight chunk on the untrusted wire.
+    auto &queue = rig.conn->to_server;
+    ASSERT_FALSE(queue.empty());
+    queue.back().data[kFrameHeaderSize + 8 + 5] ^= 0x20;
+
+    Bytes out;
+    ASSERT_EQ(rig.pump_recv(*rig.server_channel, out),
+              SecureChannel::Recv::kFailed);
+    EXPECT_EQ(rig.server_channel->error(), AttestError::kBadRecordMac);
+    EXPECT_TRUE(rig.server_channel->failed());
+    // Poisoned for good: further sends refuse.
+    EXPECT_FALSE(rig.server_channel->send({'x'}));
+    // And the client learns via the alert.
+    ASSERT_EQ(rig.pump_recv(*rig.client_channel, out),
+              SecureChannel::Recv::kFailed);
+    EXPECT_EQ(rig.client_channel->error(), AttestError::kPeerAlert);
+}
+
+TEST(Rpc, RequestResponseRoundTrip)
+{
+    ChannelRig rig;
+    rig.establish();
+
+    RpcServer server(std::move(*rig.server_channel),
+                     [](uint32_t op, const Bytes &payload) -> Result<Bytes> {
+                         if (op == 7) {
+                             Bytes echo = payload;
+                             echo.push_back('!');
+                             return echo;
+                         }
+                         return Error(ErrorCode::kInval, "bad op");
+                     });
+    RpcClient client(std::move(*rig.client_channel));
+
+    uint32_t id = client.call(7, {'h', 'i'});
+    ASSERT_NE(id, 0u);
+    uint32_t bad_id = client.call(8, {});
+    ASSERT_NE(bad_id, 0u);
+
+    int responses = 0;
+    for (int i = 0; i < 10000 && responses < 2; ++i) {
+        bool progress = server.step();
+        RpcResponse response;
+        RpcClient::Poll poll = client.poll(response);
+        if (poll == RpcClient::Poll::kResponse) {
+            ++responses;
+            progress = true;
+            if (response.id == id) {
+                EXPECT_EQ(response.status, 0u);
+                EXPECT_EQ(response.payload, (Bytes{'h', 'i', '!'}));
+            } else {
+                EXPECT_EQ(response.id, bad_id);
+                EXPECT_EQ(response.status,
+                          static_cast<uint32_t>(ErrorCode::kInval));
+            }
+        } else {
+            ASSERT_EQ(poll, RpcClient::Poll::kNeedMore);
+        }
+        if (!progress) {
+            uint64_t wake = std::min(client.next_arrival(),
+                                     server.channel().next_arrival());
+            ASSERT_NE(wake, ~0ull);
+            if (wake > rig.platform.clock().cycles()) {
+                rig.platform.clock().advance(
+                    wake - rig.platform.clock().cycles());
+            }
+        }
+    }
+    EXPECT_EQ(responses, 2);
+    EXPECT_EQ(server.requests_served(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end scenario
+// ---------------------------------------------------------------------
+
+TEST(AttestedRpcScenario, HonestKeyRelease)
+{
+    workloads::AttestedRpcOptions options;
+    options.requests = 8;
+    workloads::AttestedRpcReport report =
+        workloads::run_attested_rpc(options);
+    EXPECT_TRUE(report.ok) << report.error;
+    EXPECT_TRUE(report.keys_match);
+    EXPECT_TRUE(report.secret_released);
+    EXPECT_GT(report.handshake_cycles, 0u);
+    EXPECT_GT(report.records, 2u);
+}
+
+TEST(AttestedRpcScenario, PlaintextAblationIsCheaper)
+{
+    // Cycle comparison between two runs is only meaningful fault-free:
+    // an ambient CI fault plan (ci_faults.sh runs tier-1 under several)
+    // would give the runs different fault draws and swamp the crypto
+    // delta. Fault behaviour has its own test below.
+    ScopedFaultPlan clean{FaultPlan{}};
+    workloads::AttestedRpcOptions encrypted;
+    encrypted.requests = 8;
+    encrypted.response_bytes = 4096;
+    workloads::AttestedRpcOptions plain = encrypted;
+    plain.plaintext = true;
+
+    workloads::AttestedRpcReport encrypted_report =
+        workloads::run_attested_rpc(encrypted);
+    workloads::AttestedRpcReport plain_report =
+        workloads::run_attested_rpc(plain);
+    ASSERT_TRUE(encrypted_report.ok) << encrypted_report.error;
+    ASSERT_TRUE(plain_report.ok) << plain_report.error;
+    EXPECT_EQ(encrypted_report.payload_bytes,
+              plain_report.payload_bytes);
+    // Record crypto costs cycles; the ablation must be faster.
+    EXPECT_LT(plain_report.total_cycles, encrypted_report.total_cycles);
+}
+
+TEST(AttestedRpcScenario, SurvivesNetworkFaultsOrFailsClosed)
+{
+    FaultPlan plan;
+    plan.seed = 505;
+    plan.net_drop = 0.08;
+    plan.net_dup = 0.08;
+    plan.net_short_read = 0.25;
+    ScopedFaultPlan scoped(plan);
+
+    workloads::AttestedRpcOptions options;
+    options.requests = 8;
+    workloads::AttestedRpcReport report =
+        workloads::run_attested_rpc(options);
+    // NetSim faults are delay/fragmentation, never corruption: the
+    // handshake either completes with matching keys or fails closed
+    // with a named error — nothing in between.
+    if (report.ok) {
+        EXPECT_TRUE(report.keys_match);
+        EXPECT_TRUE(report.secret_released);
+    } else {
+        EXPECT_FALSE(report.error.empty());
+    }
+}
+
+} // namespace
+} // namespace occlum::attest

@@ -458,5 +458,27 @@ TEST(HmacKat, StreamingMatchesOneShot)
     EXPECT_EQ(streamed, hk.mac(whole));
 }
 
+TEST(Hmac, HkdfExpandLabelIsLabeledHmac)
+{
+    Sha256Digest secret;
+    for (size_t i = 0; i < secret.size(); ++i) {
+        secret[i] = static_cast<uint8_t>(i * 3);
+    }
+    // Definitionally HMAC(secret, label)...
+    const char label[] = "key.c2s.enc";
+    Bytes label_bytes(label, label + sizeof label - 1);
+    EXPECT_EQ(hkdf_expand_label(secret, label),
+              hmac_sha256(Bytes(secret.begin(), secret.end()),
+                          label_bytes));
+    // ...so distinct labels partition into independent subkeys, and
+    // distinct secrets never collide on a label.
+    EXPECT_NE(hkdf_expand_label(secret, "key.c2s.enc"),
+              hkdf_expand_label(secret, "key.s2c.enc"));
+    Sha256Digest other = secret;
+    other[0] ^= 1;
+    EXPECT_NE(hkdf_expand_label(secret, label),
+              hkdf_expand_label(other, label));
+}
+
 } // namespace
 } // namespace occlum::crypto

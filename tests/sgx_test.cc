@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sgx/sgx.h"
 
 namespace occlum::sgx {
@@ -260,6 +262,91 @@ TEST(Attestation, ReportsVerifyOnSamePlatformOnly)
     Report remeasured = report;
     remeasured.measurement[5] ^= 1;
     EXPECT_FALSE(Enclave::verify_report(platform, remeasured));
+}
+
+/**
+ * Regression: the report MAC must cover the *whole* identity, not just
+ * measurement + user_data. With the old narrow MAC payload, a relay
+ * could rewrite signer/attributes/svn on a genuine report (e.g. strip
+ * the DEBUG bit to slip past a production policy) without tripping
+ * verification — this test failed against that code.
+ */
+TEST(Attestation, ReportMacCoversEnclaveIdentity)
+{
+    Platform platform;
+    Enclave enclave(platform, kBase, 1 << 20);
+    ASSERT_TRUE(
+        enclave.add_pages(kBase, vm::kPageSize, vm::kPermRX).ok());
+    EnclaveIdentity identity;
+    identity.signer.fill(0x5A);
+    identity.attributes = EnclaveIdentity::kAttrDebug;
+    identity.isv_prod_id = 3;
+    identity.isv_svn = 7;
+    ASSERT_TRUE(enclave.set_identity(identity).ok());
+    ASSERT_TRUE(enclave.init().ok());
+
+    Report report = enclave.create_report({1, 2, 3});
+    ASSERT_TRUE(Enclave::verify_report(platform, report));
+
+    Report resigned = report;
+    resigned.identity.signer[0] ^= 1;
+    EXPECT_FALSE(Enclave::verify_report(platform, resigned));
+
+    Report undebugged = report;
+    undebugged.identity.attributes &= ~EnclaveIdentity::kAttrDebug;
+    EXPECT_FALSE(Enclave::verify_report(platform, undebugged));
+
+    Report reproduced = report;
+    reproduced.identity.isv_prod_id ^= 1;
+    EXPECT_FALSE(Enclave::verify_report(platform, reproduced));
+
+    Report upleveled = report;
+    upleveled.identity.isv_svn += 1;
+    EXPECT_FALSE(Enclave::verify_report(platform, upleveled));
+}
+
+/**
+ * Regression: create_report used to *silently truncate* user_data past
+ * 64 bytes, so two inputs differing only beyond byte 64 produced
+ * byte-identical reports — a caller binding a long transcript got a
+ * report that vouched for infinitely many transcripts. Long inputs now
+ * bind their SHA-256 digest instead (and bind_user_data exposes the
+ * exact mapping so verifiers can recompute it).
+ */
+TEST(Attestation, LongUserDataBindsDigestNotTruncation)
+{
+    Platform platform;
+    Enclave enclave(platform, kBase, 1 << 20);
+    ASSERT_TRUE(
+        enclave.add_pages(kBase, vm::kPageSize, vm::kPermRX).ok());
+    ASSERT_TRUE(enclave.init().ok());
+
+    Bytes long_a(100, 0xAA);
+    Bytes long_b = long_a;
+    long_b[80] ^= 1; // differs only past the old 64-byte cutoff
+
+    Report report_a = enclave.create_report(long_a);
+    Report report_b = enclave.create_report(long_b);
+    EXPECT_NE(report_a.user_data, report_b.user_data);
+    EXPECT_EQ(report_a.user_data, Enclave::bind_user_data(long_a));
+    EXPECT_TRUE(Enclave::verify_report(platform, report_a));
+
+    // Short inputs still bind verbatim, zero-padded.
+    Bytes short_input = {9, 8, 7};
+    Report short_report = enclave.create_report(short_input);
+    std::array<uint8_t, 64> expect{};
+    expect[0] = 9;
+    expect[1] = 8;
+    expect[2] = 7;
+    EXPECT_EQ(short_report.user_data, expect);
+
+    // Exactly 64 bytes is the verbatim/digest boundary: still verbatim.
+    Bytes exact(64, 0x11);
+    EXPECT_EQ(enclave.create_report(exact).user_data,
+              Enclave::bind_user_data(exact));
+    std::array<uint8_t, 64> verbatim;
+    std::copy(exact.begin(), exact.end(), verbatim.begin());
+    EXPECT_EQ(Enclave::bind_user_data(exact), verbatim);
 }
 
 TEST(Enclave, ZeroReserveMatchesExplicitZeroPages)
