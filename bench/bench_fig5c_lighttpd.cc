@@ -136,11 +136,12 @@ struct SweepPoint {
  */
 SweepPoint
 run_sweep_point(oskit::Kernel &sys, host::NetSim &net, int idle,
-                int concurrency, int total_requests)
+                int concurrency, int total_requests,
+                const char *prog = "httpd_poll")
 {
     auto pid =
-        sys.spawn("httpd_poll",
-                  {"httpd_poll", std::to_string(total_requests),
+        sys.spawn(prog,
+                  {prog, std::to_string(total_requests),
                    std::to_string(idle + concurrency + 16)});
     OCC_CHECK_MSG(pid.ok(), pid.error().message);
     sys.run(/*allow_idle=*/true); // server blocks in poll()
@@ -255,6 +256,164 @@ idle_sweep()
     report.write();
 }
 
+// ---------------------------------------------------------------------
+// C10K → C1M: the same sweep over the epoll()-driven server
+// ---------------------------------------------------------------------
+
+/**
+ * The poll() server re-submits its whole fd set on every call, so the
+ * *syscall* cost scales with the watched count even though the
+ * scheduler cost does not. epoll keeps the interest list in the
+ * kernel and dispatches from the ready list, so both the scheduler
+ * walk AND the wait cost are O(active): the per-round visit count
+ * must stay flat from 1 Ki to 1 Mi registered connections.
+ */
+void
+epoll_sweep()
+{
+    workloads::ProgramBuild server = workloads::build_program(
+        workloads::httpd_epoll_source(), 768 << 10);
+    constexpr int kConcurrency = 8;
+    constexpr int kRequests = 400;
+
+    Table table("Fig 5c (C10K->C1M): epoll()-driven server, "
+                "mostly-idle connections");
+    table.set_header({"idle conns", "req/s", "wakeups/req",
+                      "epoll_waits", "visits/round", "wasted retries"});
+    bench::JsonReport report("fig5c_lighttpd_sweep_epoll");
+
+    double baseline_vpr = 0;
+    for (int idle : {1024, 65536, 1000000}) {
+        sgx::Platform platform;
+        host::NetSim net(platform.clock());
+        host::HostFileStore files;
+        files.put("httpd_epoll", server.occlum);
+        libos::OcclumSystem sys(platform, files, bench::occlum_config(),
+                                &net);
+        auto &registry = trace::Registry::instance();
+        uint64_t waits0 =
+            registry.counter("kernel.epoll_waits").value();
+        SweepPoint p = run_sweep_point(sys, net, idle, kConcurrency,
+                                       kRequests, "httpd_epoll");
+        uint64_t waits =
+            registry.counter("kernel.epoll_waits").value() - waits0;
+
+        // The acceptance bar from the issue: a million registered
+        // connections must cost the same per round as a thousand.
+        OCC_CHECK_MSG(p.wasted_retries == 0,
+                      "epoll wakeups must never produce a wasted retry");
+        OCC_CHECK_MSG(p.visits_per_round <= 2.0,
+                      "scheduler round cost must not scale with "
+                      "registered connections");
+        if (idle == 1024) {
+            baseline_vpr = p.visits_per_round;
+        } else {
+            OCC_CHECK_MSG(p.visits_per_round <= baseline_vpr + 0.5,
+                          "per-round visits must stay flat from C10K "
+                          "to C1M");
+        }
+
+        table.add_row({std::to_string(idle), format("%.0f", p.rps),
+                       format("%.2f",
+                              static_cast<double>(p.wakeups) / kRequests),
+                       std::to_string(waits),
+                       format("%.3f", p.visits_per_round),
+                       std::to_string(p.wasted_retries)});
+        std::string label = "epoll-" + std::to_string(idle);
+        report.add(label, "occlum_rps", p.rps);
+        report.add(label, "wakeups_per_req",
+                   static_cast<double>(p.wakeups) / kRequests);
+        report.add(label, "epoll_waits", static_cast<double>(waits));
+        report.add(label, "visits_per_round", p.visits_per_round);
+        report.add(label, "wasted_retries",
+                   static_cast<double>(p.wasted_retries));
+    }
+    table.print();
+    std::printf("\npoll() pays O(watched) per syscall to re-submit the "
+                "set; epoll dispatches O(active) from the kernel-side "
+                "ready list, so C1M costs what C10K costs.\n");
+    report.write();
+}
+
+// ---------------------------------------------------------------------
+// Reverse proxy + backend pool (spawn + pipes + sockets, one loop)
+// ---------------------------------------------------------------------
+
+void
+proxy_bench()
+{
+    workloads::ProgramBuild frontend = workloads::build_program(
+        workloads::proxy_frontend_source(), 768 << 10);
+    workloads::ProgramBuild backend = workloads::build_program(
+        workloads::proxy_backend_source(), 768 << 10);
+    constexpr int kConcurrency = 8;
+    constexpr int kRequests = 256;
+
+    Table table("Fig 5c (proxy): epoll reverse proxy, 4 backend SIPs");
+    table.set_header({"system", "req/s", "wakeups/req",
+                      "wasted retries"});
+    bench::JsonReport report("fig5c_lighttpd_proxy");
+    auto &registry = trace::Registry::instance();
+
+    auto run_one = [&](const char *label, oskit::Kernel &sys,
+                       host::NetSim &net) {
+        auto pid = sys.spawn("proxy_frontend",
+                             {"proxy_frontend",
+                              std::to_string(kRequests),
+                              std::to_string(kConcurrency + 16)});
+        OCC_CHECK_MSG(pid.ok(), pid.error().message);
+        sys.run(/*allow_idle=*/true); // frontend + backends parked
+        uint64_t wakeups0 = registry.counter("kernel.wakeups").value();
+        uint64_t wasted0 =
+            registry.counter("kernel.wasted_retries").value();
+        double rps =
+            drive_clients(sys, net, kConcurrency, kRequests);
+        sys.run(/*allow_idle=*/true); // frontend reaps its backends
+        auto code = sys.exit_code(pid.value());
+        OCC_CHECK_MSG(code.ok() && code.value() == 0,
+                      "proxy frontend must exit cleanly");
+        uint64_t wakeups =
+            registry.counter("kernel.wakeups").value() - wakeups0;
+        uint64_t wasted =
+            registry.counter("kernel.wasted_retries").value() - wasted0;
+        OCC_CHECK_MSG(wasted == 0,
+                      "proxy pipeline wakeups must all be productive");
+        table.add_row({label, format("%.0f", rps),
+                       format("%.2f",
+                              static_cast<double>(wakeups) / kRequests),
+                       std::to_string(wasted)});
+        report.add(label, "rps", rps);
+        report.add(label, "wakeups_per_req",
+                   static_cast<double>(wakeups) / kRequests);
+        report.add(label, "wasted_retries", static_cast<double>(wasted));
+    };
+
+    {
+        SimClock clock;
+        host::NetSim net(clock);
+        host::HostFileStore files;
+        files.put("proxy_frontend", frontend.plain);
+        files.put("proxy_backend", backend.plain);
+        baseline::LinuxSystem sys(clock, files, &net);
+        run_one("linux", sys, net);
+    }
+    {
+        sgx::Platform platform;
+        host::NetSim net(platform.clock());
+        host::HostFileStore files;
+        files.put("proxy_frontend", frontend.occlum);
+        files.put("proxy_backend", backend.occlum);
+        libos::OcclumSystem sys(platform, files, bench::occlum_config(),
+                                &net);
+        run_one("occlum", sys, net);
+    }
+    table.print();
+    std::printf("\nOne epoll loop multiplexes the listener, every "
+                "client connection, and the four backend result pipes; "
+                "jobs fan out over pipes to spawned backend SIPs.\n");
+    report.write();
+}
+
 } // namespace
 
 int
@@ -317,5 +476,7 @@ main()
     report.write();
 
     idle_sweep();
+    epoll_sweep();
+    proxy_bench();
     return 0;
 }

@@ -27,6 +27,17 @@
 #           completes and both peers hold identical directional keys,
 #           or the endpoint fails *closed* with a named AttestError —
 #           never a half-open channel, never mismatched keys.
+#   plan 6: the epoll dispatch path under a hostile network + AEX
+#           storm — segment drops and duplicates shift and re-fire
+#           every readiness edge while AEXes slice every quantum,
+#           aimed at the kernel-side interest/ready lists (the
+#           Epoll.* battery and the EpollWorkload.* reverse-proxy +
+#           backend-pool scenario run under this plan like the rest
+#           of tier-1). A duplicated arrival must not double-report
+#           an edge-triggered fd, a dropped-then-retransmitted edge
+#           must still wake a blocked kEpollWait, and the proxy's
+#           spawn + pipes + sockets pipeline must still serve every
+#           request.
 #
 # Plan 1 additionally runs under ASan+UBSan: an injected AEX touches
 # the SSA snapshot path on every quantum, the place a lifetime bug
@@ -44,6 +55,7 @@ PLANS=(
     "seed=303;net_drop=0.05;net_dup=0.05;net_short_read=0.25"
     "seed=404;net_drop=0.05;net_dup=0.05;aex_every=2048"
     "seed=505;net_drop=0.08;net_dup=0.08;net_short_read=0.25;aex_every=2048"
+    "seed=606;net_drop=0.05;net_dup=0.05;net_short_read=0.25;aex_every=2048"
 )
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo

@@ -31,6 +31,7 @@ error_name(ErrorCode code)
       case ErrorCode::kNameTooLong: return "ENAMETOOLONG";
       case ErrorCode::kNoSys: return "ENOSYS";
       case ErrorCode::kNotEmpty: return "ENOTEMPTY";
+      case ErrorCode::kLoop: return "ELOOP";
       case ErrorCode::kNoExec: return "ENOEXEC";
       case ErrorCode::kTimedOut: return "ETIMEDOUT";
       case ErrorCode::kWouldBlock: return "EWOULDBLOCK";

@@ -45,6 +45,7 @@ enum class ErrorCode : int {
     kNameTooLong = 36,// ENAMETOOLONG
     kNoSys = 38,      // ENOSYS
     kNotEmpty = 39,   // ENOTEMPTY
+    kLoop = 40,       // ELOOP (epoll watch cycles)
     kNoExec = 8,      // ENOEXEC (rejected by verifier / bad format)
     kTimedOut = 110,  // ETIMEDOUT
     kWouldBlock = 140,// distinct from kAgain for clarity in tests

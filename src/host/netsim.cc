@@ -168,11 +168,14 @@ NetSim::recv(Connection *conn, bool at_server, uint8_t *out, size_t cap,
 void
 NetSim::close(Connection *conn, bool server_side)
 {
-    if (server_side) {
-        conn->open_server = false;
-    } else {
-        conn->open_client = false;
+    // Idempotent: a second close of the same side must not re-fire
+    // on_close — the peer's blocked pollers are woken exactly once
+    // per hangup edge, not once per redundant close() call.
+    bool &open = server_side ? conn->open_server : conn->open_client;
+    if (!open) {
+        return;
     }
+    open = false;
     if (events_.on_close) {
         events_.on_close(conn, server_side);
     }

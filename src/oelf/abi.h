@@ -83,6 +83,15 @@ enum class Sys : uint64_t {
                      //   (fds: records of 3 int64s {fd, events,
                      //    revents}; timeout_ns -1 = infinite, 0 =
                      //    non-blocking; blocks on wait queues)
+    kEpollCreate = 27,// epoll_create() -> epoll fd
+    kEpollCtl = 28,  // epoll_ctl(epfd, op, fd, events)
+                     //   (op: kEpollCtlAdd/Del/Mod; events: kPoll*
+                     //    bits, optionally | kEpollEt for
+                     //    edge-triggered delivery)
+    kEpollWait = 29, // epoll_wait(epfd, events, maxevents,
+                     //   timeout_ns) -> ready count (events: records
+                     //   of 2 int64s {fd, revents}; timeout like
+                     //   kPoll)
     kCount
 };
 
@@ -95,6 +104,17 @@ constexpr int64_t kPollNval = 0x20;
 
 /** Bytes per poll() record: {fd, events, revents}, each int64. */
 constexpr uint64_t kPollRecordBytes = 24;
+
+/** epoll_ctl() operations (Linux values). */
+constexpr uint64_t kEpollCtlAdd = 1;
+constexpr uint64_t kEpollCtlDel = 2;
+constexpr uint64_t kEpollCtlMod = 3;
+
+/** Edge-triggered delivery flag in epoll_ctl() events (EPOLLET). */
+constexpr int64_t kEpollEt = 1ll << 31;
+
+/** Bytes per epoll_wait() record: {fd, revents}, each int64. */
+constexpr uint64_t kEpollRecordBytes = 16;
 
 /** Static name of a syscall number ("sys.write", ...), for tracing. */
 constexpr const char *
@@ -128,6 +148,9 @@ sys_name(uint64_t num)
       case Sys::kSockConnect: return "sys.sock_connect";
       case Sys::kGetArg: return "sys.getarg";
       case Sys::kPoll: return "sys.poll";
+      case Sys::kEpollCreate: return "sys.epoll_create";
+      case Sys::kEpollCtl: return "sys.epoll_ctl";
+      case Sys::kEpollWait: return "sys.epoll_wait";
       case Sys::kCount: break;
     }
     return "sys.unknown";

@@ -45,6 +45,23 @@ WaitQueue::take()
     return std::exchange(waiters_, {});
 }
 
+void
+WaitQueue::add_watch(EpollWatch *watch)
+{
+    if (std::find(watches_.begin(), watches_.end(), watch) ==
+        watches_.end()) {
+        watches_.push_back(watch);
+    }
+}
+
+void
+WaitQueue::remove_watch(EpollWatch *watch)
+{
+    watches_.erase(
+        std::remove(watches_.begin(), watches_.end(), watch),
+        watches_.end());
+}
+
 // ---------------------------------------------------------------------
 // PipeEnd
 // ---------------------------------------------------------------------
@@ -137,8 +154,11 @@ PipeEnd::poll_ready(Kernel &kernel)
             bits |= static_cast<uint64_t>(abi::kPollIn);
         }
         if (pipe_->writers == 0) {
-            // EOF is readable; HUP tells the poller why.
-            bits |= static_cast<uint64_t>(abi::kPollIn | abi::kPollHup);
+            // Writer gone is a hangup, not data: POLLIN here used to
+            // send pollers into a 0-byte read loop on a drained pipe.
+            // HUP is always reported, so the poller still wakes; the
+            // read then sees a clean EOF.
+            bits |= static_cast<uint64_t>(abi::kPollHup);
         }
     } else {
         if (pipe_->readers == 0) {
@@ -200,8 +220,15 @@ SocketFile::write(Kernel &kernel, const uint8_t *buf, uint64_t len)
 void
 SocketFile::on_fd_release(Kernel &kernel)
 {
-    net_->close(conn_, at_server_); // fires on_close → wakes the peer
-    kernel.socket_closed(conn_, at_server_);
+    // A socket shared through fd inheritance (spawn stdio) must only
+    // close the connection when the *last* descriptor goes away.
+    // Closing on the first release tore the socket out of the wakeup
+    // registry while another SIP still held a live fd: a poller
+    // blocked on the surviving descriptor never saw later data.
+    if (--fd_refs_ == 0) {
+        net_->close(conn_, at_server_); // fires on_close → wakes peer
+        kernel.socket_closed(conn_, at_server_);
+    }
 }
 
 uint64_t

@@ -22,6 +22,19 @@ namespace occlum::oskit {
 
 class Kernel;
 struct Process;
+class EpollObject;
+
+/**
+ * One epoll interest entry's subscription to a source wait queue.
+ * Registered on the watched file's read/write WaitQueue; when the
+ * kernel notifies that queue, the watch routes the event straight to
+ * its (epoll, fd) pair — O(watchers), never a scan of the epoll's
+ * interest list.
+ */
+struct EpollWatch {
+    EpollObject *epoll = nullptr;
+    int fd = -1;
+};
 
 /**
  * A readiness wait queue: the set of blocked processes to wake when
@@ -55,8 +68,21 @@ class WaitQueue
 
     bool empty() const { return waiters_.empty(); }
 
+    /**
+     * Epoll subscriptions on this queue. Unlike waiters, watches are
+     * persistent: a notification does not detach them (that is what
+     * makes edge re-arming work). The EpollObject owns the watch
+     * storage and detaches it when the interest entry goes away; an
+     * interest entry holds a strong reference to the watched file, so
+     * a queue never outlives its watches' owners nor vice versa.
+     */
+    void add_watch(EpollWatch *watch);
+    void remove_watch(EpollWatch *watch);
+    const std::vector<EpollWatch *> &watches() const { return watches_; }
+
   private:
     std::vector<Process *> waiters_;
+    std::vector<EpollWatch *> watches_;
 };
 
 /** Result of a read/write attempt on a file object. */
@@ -277,6 +303,7 @@ class SocketFile : public FileObject
     IoResult read(Kernel &kernel, uint8_t *buf, uint64_t len) override;
     IoResult write(Kernel &kernel, const uint8_t *buf,
                    uint64_t len) override;
+    void on_fd_acquire() override { ++fd_refs_; }
     void on_fd_release(Kernel &kernel) override;
     uint64_t poll_ready(Kernel &kernel) override;
     uint64_t next_event_time(Kernel &kernel) override;
@@ -289,6 +316,7 @@ class SocketFile : public FileObject
     host::NetSim *net_;
     host::NetSim::Connection *conn_;
     bool at_server_;
+    int fd_refs_ = 0;
 };
 
 /** A listening socket bound to a port. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/log.h"
+#include "oskit/epoll.h"
 #include "faultsim/faultsim.h"
 #include "trace/trace.h"
 
@@ -211,6 +212,8 @@ Kernel::kill_process(Process &proc, DeathCause cause, int64_t code)
         file->on_fd_release(*this);
     }
     proc.fds.clear();
+    proc.epolls.clear();
+    proc.fd_scan_hint = 0;
     // Wake waitpid() callers parked on this pid.
     auto wit = pid_waiters_.find(proc.pid);
     if (wit != pid_waiters_.end()) {
@@ -408,8 +411,26 @@ Kernel::arm_timer(Process &proc, uint64_t when)
 }
 
 void
+Kernel::notify_watches(WaitQueue &queue, uint64_t when)
+{
+    // Copy: on_source_event recursively wake_queue()s the epoll's own
+    // read waiters, and a parent epoll watching that queue may mutate
+    // its watch list while we iterate.
+    std::vector<EpollWatch *> watches = queue.watches();
+    for (EpollWatch *watch : watches) {
+        watch->epoll->on_source_event(*this, watch->fd, when);
+    }
+}
+
+void
 Kernel::wake_queue(WaitQueue &queue, uint64_t when)
 {
+    // Epoll subscriptions ride every notification a queue would
+    // deliver to waiters: the event moves the fd onto the watching
+    // epoll's ready list whether or not anyone is blocked right now.
+    if (!queue.watches().empty()) {
+        notify_watches(queue, when);
+    }
     if (queue.empty()) {
         return;
     }
@@ -795,10 +816,36 @@ Kernel::dispatch(Process &proc, uint64_t num,
       }
 
       case Sys::kClose: {
-        auto it = proc.fds.find(static_cast<int>(args[0]));
+        int fd = static_cast<int>(args[0]);
+        auto it = proc.fds.find(fd);
         if (it == proc.fds.end()) return neg_errno(ErrorCode::kBadF);
-        it->second->on_fd_release(*this);
+        FilePtr file = it->second; // keep alive through the hooks
+        file->on_fd_release(*this);
         proc.fds.erase(it);
+        proc.fd_closed(fd);
+        if (auto *ep = dynamic_cast<EpollObject *>(file.get())) {
+            // Closing an epoll fd: drop it from the process's epoll
+            // roster unless another descriptor still references it.
+            bool still_open = false;
+            for (const auto &[ofd, f] : proc.fds) {
+                if (f.get() == ep) {
+                    still_open = true;
+                    break;
+                }
+            }
+            if (!still_open) {
+                auto &eps = proc.epolls;
+                eps.erase(std::remove(eps.begin(), eps.end(), ep),
+                          eps.end());
+            }
+        } else {
+            // Auto-removal: a closed fd leaves every epoll interest
+            // list it was registered with (Linux semantics — a dead
+            // descriptor must not keep producing events).
+            for (EpollObject *ep : proc.epolls) {
+                ep->forget_fd(fd);
+            }
+        }
         return 0;
       }
 
@@ -877,6 +924,7 @@ Kernel::dispatch(Process &proc, uint64_t num,
             proc.fds.erase(wfd);
             read_end->on_fd_release(*this);
             proc.fds.erase(rfd);
+            proc.fd_closed(rfd);
             return neg_errno(ErrorCode::kFault);
         }
         return 0;
@@ -1125,6 +1173,96 @@ Kernel::dispatch(Process &proc, uint64_t num,
         }
         return block_on(proc, std::min(proc.sys_deadline, min_event),
                         queues);
+      }
+
+      case Sys::kEpollCreate: {
+        int fd = proc.alloc_fd();
+        auto ep = std::make_shared<EpollObject>();
+        ep->on_fd_acquire();
+        proc.fds[fd] = ep;
+        proc.epolls.push_back(ep.get());
+        return fd;
+      }
+
+      case Sys::kEpollCtl: {
+        // epoll_ctl(epfd, op, fd, events). Errors follow Linux: EBADF
+        // for dead descriptors, EINVAL for a non-epoll epfd, EEXIST /
+        // ENOENT / ELOOP from the interest-list operation itself.
+        FilePtr epfile = file_of(args[0]);
+        if (!epfile) return neg_errno(ErrorCode::kBadF);
+        auto *ep = dynamic_cast<EpollObject *>(epfile.get());
+        if (!ep) return neg_errno(ErrorCode::kInval);
+        int fd = static_cast<int>(args[2]);
+        FilePtr target = file_of(args[2]);
+        if (!target) return neg_errno(ErrorCode::kBadF);
+        uint64_t op = args[1];
+        Result<int64_t> r = neg_errno(ErrorCode::kInval);
+        if (op == abi::kEpollCtlAdd) {
+            r = ep->add(*this, fd, target, args[3]);
+        } else if (op == abi::kEpollCtlDel) {
+            r = ep->remove(fd);
+        } else if (op == abi::kEpollCtlMod) {
+            r = ep->modify(*this, fd, args[3]);
+        } else {
+            return neg_errno(ErrorCode::kInval);
+        }
+        if (!r.ok()) return neg_errno(r.error().code);
+        return r.value();
+      }
+
+      case Sys::kEpollWait: {
+        // epoll_wait(epfd, events, maxevents, timeout_ns): events is
+        // an array of {fd, revents} int64 pairs. Timeout semantics
+        // match kPoll (deadline pinned at the first dispatch).
+        constexpr uint64_t kMaxEpollEvents = 4096;
+        FilePtr epfile = file_of(args[0]);
+        if (!epfile) return neg_errno(ErrorCode::kBadF);
+        auto *ep = dynamic_cast<EpollObject *>(epfile.get());
+        if (!ep) return neg_errno(ErrorCode::kInval);
+        uint64_t evs_ptr = args[1];
+        uint64_t max_events = args[2];
+        int64_t timeout_ns = static_cast<int64_t>(args[3]);
+        if (max_events == 0 || max_events > kMaxEpollEvents) {
+            return neg_errno(ErrorCode::kInval);
+        }
+        if (proc.sys_deadline == ~0ull && timeout_ns >= 0) {
+            proc.sys_deadline =
+                clock_->cycles() +
+                static_cast<uint64_t>(static_cast<double>(timeout_ns) *
+                                      (SimClock::kFrequencyHz / 1e9));
+        }
+        uint64_t bytes = max_events * abi::kEpollRecordBytes;
+        // All-or-nothing EFAULT *before* collect(): collecting is
+        // destructive for edge-triggered entries, so the whole output
+        // buffer must be probed before any candidate is consumed
+        // (same discipline as the kRead/kSockRecv destination probe).
+        if (!validate_user_range(proc, evs_ptr, bytes).ok() ||
+            evs_ptr + bytes < evs_ptr ||
+            !proc.space->is_mapped(evs_ptr, bytes)) {
+            return neg_errno(ErrorCode::kFault);
+        }
+        if (io_scratch_.size() < bytes) {
+            io_scratch_.resize(bytes);
+        }
+        int64_t *rec = reinterpret_cast<int64_t *>(io_scratch_.data());
+        uint64_t min_due = ~0ull;
+        int64_t n = ep->collect(*this, rec, max_events, min_due);
+        uint64_t now = clock_->cycles();
+        bool timed_out =
+            proc.sys_deadline != ~0ull && now >= proc.sys_deadline;
+        if (n > 0 || timed_out) {
+            if (n > 0 &&
+                !copy_to_user(proc, evs_ptr, rec,
+                              static_cast<uint64_t>(n) *
+                                  abi::kEpollRecordBytes)
+                     .ok()) {
+                return neg_errno(ErrorCode::kFault);
+            }
+            ctr_epoll_waits_->add();
+            return n;
+        }
+        return block_on(proc, std::min(proc.sys_deadline, min_due),
+                        {&ep->read_waiters()});
       }
 
       case Sys::kGetArg: {

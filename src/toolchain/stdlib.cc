@@ -50,6 +50,16 @@ func getarg(i, buf, cap) { return syscall(25, i, buf, cap); }
 // poll: fds is an int array of records {fd, events, revents};
 // timeout_ns < 0 waits forever, 0 never blocks.
 func poll(fds, nfds, timeout_ns) { return syscall(26, fds, nfds, timeout_ns); }
+// epoll: interest list held kernel-side; evs is an int array of
+// {fd, revents} pairs. op: 1=ADD 2=DEL 3=MOD; events: poll bits,
+// | 0x80000000 for edge-triggered.
+func epoll_create() { return syscall(27); }
+func epoll_ctl(epfd, op, fd, events) {
+    return syscall(28, epfd, op, fd, events);
+}
+func epoll_wait(epfd, evs, maxevents, timeout_ns) {
+    return syscall(29, epfd, evs, maxevents, timeout_ns);
+}
 
 // ---- strings and memory ----
 func strlen(s) {

@@ -555,6 +555,238 @@ func main() {
 )";
 }
 
+std::string
+httpd_epoll_source()
+{
+    // The epoll twin of httpd_poll_source: the interest list lives in
+    // the kernel, so the loop never re-submits the fd set and each
+    // wait returns only the fds whose readiness actually changed —
+    // O(active), not O(watched). The listener stays level-triggered
+    // (one accept per event; a non-empty backlog keeps it ready), and
+    // accepted connections are edge-triggered: one report per data
+    // arrival, consumed by the serve-and-close below.
+    return R"(
+global int evs[2048];
+global byte req[512];
+global byte page[10240];
+global byte argbuf[16];
+func main() {
+    var count = 1000000;
+    var backlog = 128;
+    if (argc() > 1) { getarg(1, argbuf, 16); count = atoi(argbuf); }
+    if (argc() > 2) { getarg(2, argbuf, 16); backlog = atoi(argbuf); }
+    memset(page, 'x', 10240);
+    memcpy(page, "HTTP/1.1 200 OK\r\n\r\n", 19);
+    var listener = sock_listen(8080, backlog);
+    if (listener < 0) { return 1; }
+    var ep = epoll_create();
+    if (ep < 0) { return 2; }
+    if (epoll_ctl(ep, 1, listener, 0x1) < 0) { return 3; }
+    var served = 0;
+    while (served < count) {
+        var n = epoll_wait(ep, evs, 1024, 0 - 1);
+        if (n <= 0) { return 4; }
+        var i = 0;
+        while (i < n) {
+            var fd = evs[i * 2];
+            var re = evs[i * 2 + 1];
+            if (fd == listener) {
+                var conn = sock_accept(listener);
+                if (conn >= 0) {
+                    // EPOLLET | POLLIN: report each arrival once.
+                    epoll_ctl(ep, 1, conn, 0x80000001);
+                }
+            } else {
+                if (re & 0x39) {
+                    var m = sock_recv(fd, req, 512);
+                    if (m > 0) {
+                        sock_send(fd, page, 10240);
+                        served = served + 1;
+                    }
+                    // close() drops the interest entry with the fd.
+                    close(fd);
+                }
+            }
+            i = i + 1;
+        }
+    }
+    return served & 0x7f;
+}
+)";
+}
+
+// ---------------------------------------------------------------------
+// Reverse proxy + backend pool (spawn + pipes + sockets in one loop)
+// ---------------------------------------------------------------------
+
+std::string
+proxy_backend_source()
+{
+    // Backend worker: jobs arrive on stdin as 8-byte little-endian
+    // connection ids; each produces a {conn-id, 10240-byte page}
+    // response on stdout. EOF on the job pipe is the shutdown signal.
+    return R"(
+global byte job[8];
+global byte out[10248];
+func main() {
+    memset(out + 8, 'x', 10240);
+    memcpy(out + 8, "HTTP/1.1 200 OK\r\n\r\n", 19);
+    while (1) {
+        var got = 0;
+        while (got < 8) {
+            var n = read(0, job + got, 8 - got);
+            if (n <= 0) { return 0; }
+            got = got + n;
+        }
+        memcpy(out, job, 8);
+        var sent = 0;
+        while (sent < 10248) {
+            var w = write(1, out + sent, 10248 - sent);
+            if (w <= 0) { return 1; }
+            sent = sent + w;
+        }
+    }
+    return 0;
+}
+)";
+}
+
+std::string
+proxy_frontend_source()
+{
+    // Frontend: one epoll set multiplexes the listener (LT), every
+    // accepted connection (ET), and the four backend result pipes
+    // (LT). Pipe reads are short-read safe: each backend has its own
+    // reassembly buffer, and a response is only dispatched once all
+    // 10248 bytes (8-byte conn id + page) have landed.
+    return R"(
+global int evs[512];
+global byte req[512];
+global byte job[8];
+global byte backend[16] = "proxy_backend";
+global int jobw[4];
+global int resr[4];
+global int bpids[4];
+global byte acc[40992];
+global int fill[4];
+global byte argbuf[16];
+func put64(buf, v) {
+    var i = 0;
+    while (i < 8) {
+        bstore(buf + i, (v >> (i * 8)) & 0xff);
+        i = i + 1;
+    }
+    return 0;
+}
+func get64(buf) {
+    var v = 0;
+    var i = 0;
+    while (i < 8) {
+        v = v | (bload(buf + i) << (i * 8));
+        i = i + 1;
+    }
+    return v;
+}
+func main() {
+    var count = 64;
+    var backlog = 128;
+    if (argc() > 1) { getarg(1, argbuf, 16); count = atoi(argbuf); }
+    if (argc() > 2) { getarg(2, argbuf, 16); backlog = atoi(argbuf); }
+    var listener = sock_listen(8080, backlog);
+    if (listener < 0) { return 1; }
+    var ep = epoll_create();
+    if (ep < 0) { return 2; }
+    if (epoll_ctl(ep, 1, listener, 0x1) < 0) { return 3; }
+    var argvv[1];
+    argvv[0] = backend;
+    var b = 0;
+    while (b < 4) {
+        var jp[2];
+        var rp[2];
+        if (pipe(jp) < 0) { return 4; }
+        if (pipe(rp) < 0) { return 4; }
+        var io3[3];
+        io3[0] = jp[0];
+        io3[1] = rp[1];
+        io3[2] = 0 - 1;
+        bpids[b] = spawn_io(backend, argvv, 1, io3);
+        if (bpids[b] < 0) { return 5; }
+        close(jp[0]);
+        close(rp[1]);
+        jobw[b] = jp[1];
+        resr[b] = rp[0];
+        fill[b] = 0;
+        if (epoll_ctl(ep, 1, resr[b], 0x1) < 0) { return 6; }
+        b = b + 1;
+    }
+    var served = 0;
+    var next = 0;
+    while (served < count) {
+        var n = epoll_wait(ep, evs, 256, 0 - 1);
+        if (n <= 0) { return 7; }
+        var i = 0;
+        while (i < n) {
+            var fd = evs[i * 2];
+            var re = evs[i * 2 + 1];
+            var which = 0 - 1;
+            b = 0;
+            while (b < 4) {
+                if (fd == resr[b]) { which = b; }
+                b = b + 1;
+            }
+            if (which >= 0) {
+                // Backend response bytes: reassemble, then relay.
+                var base = which * 10248;
+                var m = read(fd, acc + base + fill[which],
+                             10248 - fill[which]);
+                if (m > 0) { fill[which] = fill[which] + m; }
+                if (fill[which] == 10248) {
+                    var conn = get64(acc + base);
+                    sock_send(conn, acc + base + 8, 10240);
+                    close(conn);
+                    served = served + 1;
+                    fill[which] = 0;
+                }
+            } else {
+                if (fd == listener) {
+                    conn = sock_accept(listener);
+                    if (conn >= 0) {
+                        epoll_ctl(ep, 1, conn, 0x80000001);
+                    }
+                } else {
+                    if (re & 0x39) {
+                        m = sock_recv(fd, req, 512);
+                        if (m > 0) {
+                            put64(job, fd);
+                            var sent = 0;
+                            while (sent < 8) {
+                                var w = write(jobw[next], job + sent,
+                                              8 - sent);
+                                if (w <= 0) { return 8; }
+                                sent = sent + w;
+                            }
+                            next = next + 1;
+                            if (next == 4) { next = 0; }
+                        } else {
+                            close(fd);
+                        }
+                    }
+                }
+            }
+            i = i + 1;
+        }
+    }
+    b = 0;
+    while (b < 4) {
+        close(jobw[b]);
+        waitpid(bpids[b]);
+        b = b + 1;
+    }
+    return 0;
+}
+)";
+}
+
 // ---------------------------------------------------------------------
 // Microbenchmarks (Fig. 6)
 // ---------------------------------------------------------------------

@@ -70,6 +70,24 @@ std::string httpd_worker_source();
  * their readiness edge fires. argv: [count, backlog].
  */
 std::string httpd_poll_source();
+/**
+ * Single-process epoll()-driven event loop: the kernel holds the
+ * interest list, so each wait costs O(ready) instead of O(watched).
+ * The listener is level-triggered; accepted connections are
+ * edge-triggered (EPOLLET). This is the loop the C10K→C1M sweep in
+ * bench_fig5c_lighttpd drives. argv: [count, backlog].
+ */
+std::string httpd_epoll_source();
+/**
+ * Reverse proxy + backend pool: the frontend owns the listener and an
+ * epoll set (listener LT, connections ET, per-backend result pipes
+ * LT); requests are forwarded as 8-byte jobs over pipes to 4 spawned
+ * backend SIPs, which stream {conn-id, page} responses back. Exercises
+ * spawn + pipes + sockets through one epoll loop. argv: [count,
+ * backlog].
+ */
+std::string proxy_frontend_source();
+std::string proxy_backend_source();
 
 // ---- microbenchmark workloads (Fig. 6) ---------------------------------
 

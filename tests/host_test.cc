@@ -77,6 +77,30 @@ TEST(NetSim, ConnectionLifecycleAndLatency)
     EXPECT_TRUE(net.is_drained(server_side, true, clock.cycles()));
 }
 
+TEST(NetSim, CloseIsIdempotentPerSide)
+{
+    // Double-closing one side of a connection must fire the on_close
+    // observer exactly once per side: kernels hang poller wakeups off
+    // this event, and a re-fired close used to wake blocked pollers a
+    // second time for a hangup they had already consumed.
+    SimClock clock;
+    NetSim net(clock);
+    ASSERT_TRUE(net.listen(80, 4));
+    auto conn = net.connect(80);
+    ASSERT_TRUE(conn.ok());
+    int closes = 0;
+    NetSim::Events events;
+    events.on_close = [&](NetSim::Connection *, bool) { ++closes; };
+    net.set_events(std::move(events));
+
+    net.close(conn.value(), false);
+    net.close(conn.value(), false); // second close: swallowed
+    EXPECT_EQ(closes, 1);
+    net.close(conn.value(), true); // the other side is independent
+    net.close(conn.value(), true);
+    EXPECT_EQ(closes, 2);
+}
+
 TEST(NetSim, SharedLinkSerializesTransfers)
 {
     // Two large sends back to back: the second's arrival is pushed

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "baseline/linux_system.h"
+#include "faultsim/faultsim.h"
 #include "oskit/loader.h"
 #include "toolchain/minic.h"
 #include "trace/metrics.h"
@@ -307,6 +308,13 @@ struct RawKernel : Kernel {
     Status validate_user_range(Process &, uint64_t, uint64_t) override
     {
         return Status(); // bounds-only personality: accept everything
+    }
+    /** Expose the protected dispatcher for direct syscall tests. */
+    std::optional<int64_t>
+    sys(Process &proc, abi::Sys num,
+        const uint64_t args[abi::kSyscallArgs])
+    {
+        return dispatch(proc, static_cast<uint64_t>(num), args);
     }
 };
 
@@ -832,8 +840,10 @@ TEST(Poll, ReadinessEdgeWhenPeerCloses)
 {
     // The parent blocks in poll() on the read end; the child exits
     // (dropping the inherited last write end) long after the parent
-    // is parked. The close edge must wake the poller with
-    // POLLIN|POLLHUP, and the read must see a clean EOF.
+    // is parked. The close edge must wake the poller with POLLHUP —
+    // and *only* POLLHUP: the pipe is drained, so POLLIN here would
+    // send the caller into a 0-byte read loop instead of announcing
+    // the hangup. The read then sees a clean EOF.
     KernelHarness h;
     auto child = toolchain::compile(R"(
 func main() {
@@ -864,7 +874,7 @@ func main() {
     pfds[2] = 0;
     var r = poll(pfds, 1, 0 - 1);     // block until the edge
     if (r != 1) { return 3; }
-    if (pfds[2] != 0x11) { return 4; }  // POLLIN|POLLHUP
+    if (pfds[2] != 0x10) { return 4; }  // POLLHUP alone: no data left
     if (read(fds[0], buf, 8) != 0) { return 5; } // EOF
     return 0;
 }
@@ -892,6 +902,216 @@ func main() {
 }
 )"),
               0);
+}
+
+TEST(Poll, PipeHupWithBufferedDataStillReadable)
+{
+    // Writer-gone with bytes still buffered: the read end must show
+    // POLLIN|POLLHUP while data remains, then POLLHUP alone once
+    // drained. Before the fix the read end reported POLLIN forever
+    // after the writer closed, even on an empty pipe.
+    KernelHarness h;
+    EXPECT_EQ(h.run(R"(
+global byte buf[8];
+global int pfds[3];
+func main() {
+    var fds[2];
+    if (pipe(fds) != 0) { return 1; }
+    if (write(fds[1], "hi", 2) != 2) { return 2; }
+    close(fds[1]);
+    pfds[0] = fds[0];
+    pfds[1] = 0x1;
+    pfds[2] = 0;
+    if (poll(pfds, 1, 0) != 1) { return 3; }
+    if (pfds[2] != 0x11) { return 4; }   // data AND hangup
+    if (read(fds[0], buf, 8) != 2) { return 5; }
+    if (poll(pfds, 1, 0) != 1) { return 6; }
+    if (pfds[2] != 0x10) { return 7; }   // drained: hangup only
+    if (read(fds[0], buf, 8) != 0) { return 8; } // clean EOF
+    return 0;
+}
+)"),
+              0);
+}
+
+TEST(Regression, SharedSocketSurvivesCloseByOneSip)
+{
+    // A connection's server/client half is shared between two SIPs
+    // (spawn fd inheritance). One SIP closing its descriptor used to
+    // tear the NetSim connection down immediately — the other SIP,
+    // possibly *blocked in poll() on that very fd*, saw a spurious
+    // hangup (or a dangling wakeup registration). The connection must
+    // only close when the last descriptor goes, and the close edge
+    // must fire exactly once.
+    SimClock clock;
+    host::HostFileStore files;
+    host::NetSim net(clock);
+    baseline::LinuxSystem sys(clock, files, &net);
+    auto child = toolchain::compile(R"(
+global byte msg[4] = "hi";
+func main() {
+    var i = 0;
+    while (i < 200000) { i = i + 1; } // let the parent park in poll()
+    if (sock_send(0, msg, 2) != 2) { return 9; }
+    i = 0;
+    while (i < 200000) { i = i + 1; }
+    return 0;  // exit drops the LAST client ref: the real close edge
+}
+)");
+    ASSERT_TRUE(child.ok());
+    files.put("sender", child.value().image.serialize());
+    auto out = toolchain::compile(R"(
+global byte child[8] = "sender";
+global byte buf[8];
+global int pfds[3];
+func main() {
+    var l = sock_listen(9, 4);
+    if (l < 0) { return 1; }
+    var c = sock_connect(9);
+    if (c < 0) { return 2; }
+    var s = sock_accept(l);
+    if (s < 0) { return 3; }
+    var argvv[1];
+    argvv[0] = child;
+    var io3[3];
+    io3[0] = c;                // the child shares the client end
+    io3[1] = 0 - 1;
+    io3[2] = 0 - 1;
+    if (spawn_io(child, argvv, 1, io3) < 0) { return 4; }
+    close(c);                  // seed bug: this killed the connection
+    pfds[0] = s;
+    pfds[1] = 0x1;
+    pfds[2] = 0;
+    // Blocked here when the child's payload lands. With the seed bug
+    // this returned instantly with HUP and an EOF read.
+    if (poll(pfds, 1, 0 - 1) != 1) { return 5; }
+    if ((pfds[2] & 0x1) == 0) { return 6; }
+    if ((pfds[2] & 0x10) != 0) { return 7; }  // no phantom hangup
+    if (sock_recv(s, buf, 8) != 2) { return 8; }
+    // The child's exit drops the last client descriptor: one hangup.
+    if (poll(pfds, 1, 0 - 1) != 1) { return 10; }
+    if ((pfds[2] & 0x10) == 0) { return 11; }
+    if (sock_recv(s, buf, 8) != 0) { return 12; } // EOF after HUP
+    return 0;
+}
+)");
+    ASSERT_TRUE(out.ok());
+    files.put("prog", out.value().image.serialize());
+    auto &wasted =
+        trace::Registry::instance().counter("kernel.wasted_retries");
+    uint64_t wasted0 = wasted.value();
+    auto pid = sys.spawn("prog", {"prog"});
+    ASSERT_TRUE(pid.ok());
+    sys.run();
+    auto code = sys.exit_code(pid.value());
+    ASSERT_TRUE(code.ok());
+    EXPECT_EQ(code.value(), 0);
+    // Exactly-once close delivery: no wakeup ever found nothing to do.
+    // (Injected network faults legitimately perturb wakeup timing, so
+    // the counter check only holds on a clean run.)
+    if (!faultsim::FaultSim::instance().active()) {
+        EXPECT_EQ(wasted.value(), wasted0);
+    }
+}
+
+TEST(Regression, PollEventsArrayAcrossPageHoleIsAllOrNothing)
+{
+    // A pollfd array whose tail record straddles an unmapped page:
+    // the whole call must fail with EFAULT *before* any revents are
+    // written back — a partial writeback would leave the caller
+    // acting on half-reported readiness it was told failed.
+    HoleyHarness h;
+    h.proc.pid = 1;
+
+    // A pipe with one readable byte (fds 0 and 1 in the empty table).
+    uint64_t pipe_args[abi::kSyscallArgs] = {0x1000};
+    auto r = h.kernel.sys(h.proc, abi::Sys::kPipe, pipe_args);
+    ASSERT_TRUE(r && *r == 0);
+    ASSERT_EQ(h.space.write_raw(0x1100, "x", 1), vm::AccessFault::kNone);
+    uint64_t write_args[abi::kSyscallArgs] = {1, 0x1100, 1};
+    r = h.kernel.sys(h.proc, abi::Sys::kWrite, write_args);
+    ASSERT_TRUE(r && *r == 1);
+
+    // Record 0 sits in the last 24 bytes of the mapped page; record 1
+    // begins exactly at the hole. revents carries a sentinel.
+    uint64_t base = 0x2000 - abi::kPollRecordBytes;
+    int64_t rec0[3] = {0, 0x1, 0x7};
+    ASSERT_EQ(h.space.write_raw(base, rec0, sizeof(rec0)),
+              vm::AccessFault::kNone);
+
+    uint64_t poll_args[abi::kSyscallArgs] = {base, 2, 0};
+    r = h.kernel.sys(h.proc, abi::Sys::kPoll, poll_args);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(*r, -static_cast<int64_t>(ErrorCode::kFault));
+
+    // All-or-nothing: the mapped record's revents is untouched even
+    // though its fd was genuinely ready.
+    int64_t check[3] = {0, 0, 0};
+    ASSERT_EQ(h.space.read_raw(base, check, sizeof(check)),
+              vm::AccessFault::kNone);
+    EXPECT_EQ(check[2], 0x7);
+
+    // The same single record, fully mapped, reports POLLIN.
+    uint64_t good_args[abi::kSyscallArgs] = {base, 1, 0};
+    r = h.kernel.sys(h.proc, abi::Sys::kPoll, good_args);
+    ASSERT_TRUE(r && *r == 1);
+    ASSERT_EQ(h.space.read_raw(base, check, sizeof(check)),
+              vm::AccessFault::kNone);
+    EXPECT_EQ(check[2], 0x1);
+}
+
+TEST(Regression, EpollWaitAcrossPageHoleKeepsEdgeState)
+{
+    // epoll_wait's collect is destructive for edge-triggered entries
+    // (a reported fd leaves the ready list), so the output buffer
+    // must be probed *before* collecting: an EFAULT buffer must not
+    // consume the edge.
+    HoleyHarness h;
+    h.proc.pid = 1;
+
+    uint64_t pipe_args[abi::kSyscallArgs] = {0x1000};
+    auto r = h.kernel.sys(h.proc, abi::Sys::kPipe, pipe_args);
+    ASSERT_TRUE(r && *r == 0);
+    uint64_t create_args[abi::kSyscallArgs] = {};
+    r = h.kernel.sys(h.proc, abi::Sys::kEpollCreate, create_args);
+    ASSERT_TRUE(r && *r >= 0);
+    uint64_t epfd = static_cast<uint64_t>(*r);
+    uint64_t ctl_args[abi::kSyscallArgs] = {
+        epfd, abi::kEpollCtlAdd, 0,
+        static_cast<uint64_t>(abi::kPollIn) |
+            static_cast<uint64_t>(abi::kEpollEt)};
+    r = h.kernel.sys(h.proc, abi::Sys::kEpollCtl, ctl_args);
+    ASSERT_TRUE(r && *r == 0);
+
+    // One readable byte arms the edge.
+    ASSERT_EQ(h.space.write_raw(0x1100, "x", 1), vm::AccessFault::kNone);
+    uint64_t write_args[abi::kSyscallArgs] = {1, 0x1100, 1};
+    r = h.kernel.sys(h.proc, abi::Sys::kWrite, write_args);
+    ASSERT_TRUE(r && *r == 1);
+
+    // Two 16-byte event records starting 16 bytes before the hole:
+    // the second straddles unmapped memory.
+    uint64_t base = 0x2000 - abi::kEpollRecordBytes;
+    uint64_t bad_args[abi::kSyscallArgs] = {epfd, base, 2, 0};
+    r = h.kernel.sys(h.proc, abi::Sys::kEpollWait, bad_args);
+    ASSERT_TRUE(r);
+    EXPECT_EQ(*r, -static_cast<int64_t>(ErrorCode::kFault));
+
+    // The edge survived the failed call: a fully-mapped buffer still
+    // reports it (before the fix the EFAULT call dequeued the entry
+    // and this returned 0 — a lost event).
+    uint64_t good_args[abi::kSyscallArgs] = {epfd, 0x1200, 4, 0};
+    r = h.kernel.sys(h.proc, abi::Sys::kEpollWait, good_args);
+    ASSERT_TRUE(r && *r == 1);
+    int64_t ev[2] = {0, 0};
+    ASSERT_EQ(h.space.read_raw(0x1200, ev, sizeof(ev)),
+              vm::AccessFault::kNone);
+    EXPECT_EQ(ev[0], 0);
+    EXPECT_EQ(ev[1] & abi::kPollIn, abi::kPollIn);
+
+    // And the edge is now consumed: nothing further to report.
+    r = h.kernel.sys(h.proc, abi::Sys::kEpollWait, good_args);
+    ASSERT_TRUE(r && *r == 0);
 }
 
 } // namespace
