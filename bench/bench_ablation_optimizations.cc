@@ -61,17 +61,22 @@ struct TracedMeasure {
 };
 
 /**
- * Best-of-N wall-clock run with the block cache off or on. The cache
- * default is flipped before the system (and its CPUs) is built so the
- * whole run — loader, kernel, workload — executes in that mode.
+ * Best-of-N wall-clock run under one interpreter-tier configuration:
+ * tier 0 (decode every time), tier 1 (predecoded blocks), or tier 2
+ * (blocks + superblock traces). The defaults are flipped before the
+ * system (and its CPUs) is built so the whole run — loader, kernel,
+ * workload — executes in that mode.
  */
 TracedMeasure
-measure_block_cache(const oelf::Image &image, bool cached, int reps)
+measure_vm_tier(const oelf::Image &image, bool cached, bool superblock,
+                int reps)
 {
     TracedMeasure best;
     best.wall_ms = 1e18;
     bool saved = vm::Cpu::default_block_cache_enabled();
+    bool saved_sb = vm::Cpu::default_superblock_enabled();
     vm::Cpu::set_default_block_cache_enabled(cached);
+    vm::Cpu::set_default_superblock_enabled(superblock);
     for (int i = 0; i < reps; ++i) {
         SimClock clock;
         host::HostFileStore files;
@@ -92,6 +97,7 @@ measure_block_cache(const oelf::Image &image, bool cached, int reps)
         best.wall_ms = std::min(best.wall_ms, ms);
     }
     vm::Cpu::set_default_block_cache_enabled(saved);
+    vm::Cpu::set_default_superblock_enabled(saved_sb);
     return best;
 }
 
@@ -388,36 +394,48 @@ main()
     std::printf("simulated-cycle delta: 0 (identical by construction; "
                 "asserted)\n");
 
-    // ---- block-cache ablation ---------------------------------------
-    // Same kernel, predecoded basic-block cache off vs on. The cache
-    // is a pure interpreter-speed device: per-instruction cycle costs
-    // are charged identically from cached and freshly decoded ops, so
-    // the simulated cycle counts must be bit-identical (asserted).
-    // The wall-clock ratio is the interpreter speedup it buys.
+    // ---- interpreter-tier ablation ----------------------------------
+    // Same kernel under each execution tier: decode-every-time (tier
+    // 0), the predecoded basic-block cache (tier 1), and the
+    // superblock trace tier on top (tier 2). All tiers are pure
+    // interpreter-speed devices: per-instruction cycle costs are
+    // charged identically, so the simulated cycle counts must be
+    // bit-identical across all three rows (asserted). The wall-clock
+    // ratios are the speedups each tier buys.
     TracedMeasure cache_off =
-        measure_block_cache(out.value().image, false, kReps);
+        measure_vm_tier(out.value().image, false, false, kReps);
     TracedMeasure cache_on =
-        measure_block_cache(out.value().image, true, kReps);
+        measure_vm_tier(out.value().image, true, false, kReps);
+    TracedMeasure sb_on =
+        measure_vm_tier(out.value().image, true, true, kReps);
     OCC_CHECK_MSG(cache_off.sim_cycles == cache_on.sim_cycles,
                   "block cache must not perturb simulated cycles");
+    OCC_CHECK_MSG(cache_off.sim_cycles == sb_on.sim_cycles,
+                  "superblock tier must not perturb simulated cycles");
     double cache_speedup = cache_on.wall_ms > 0
                                ? cache_off.wall_ms / cache_on.wall_ms
                                : 0.0;
+    double sb_speedup =
+        sb_on.wall_ms > 0 ? cache_off.wall_ms / sb_on.wall_ms : 0.0;
 
-    Table cache_table("Ablation: predecoded basic-block cache "
-                      "(interpreter hot path)");
-    cache_table.set_header({"block cache", "sim Mcycles",
+    Table cache_table("Ablation: interpreter execution tiers "
+                      "(decode loop vs block cache vs superblocks)");
+    cache_table.set_header({"tier", "sim Mcycles",
                             "wall ms (best)", "speedup"});
-    cache_table.add_row({"off (decode every instr)",
+    cache_table.add_row({"interp (decode every instr)",
                          format("%.2f", cache_off.sim_cycles / 1e6),
                          format("%.2f", cache_off.wall_ms), "baseline"});
-    cache_table.add_row({"on (predecoded blocks)",
+    cache_table.add_row({"+block cache (predecoded blocks)",
                          format("%.2f", cache_on.sim_cycles / 1e6),
                          format("%.2f", cache_on.wall_ms),
                          format("%.2fx", cache_speedup)});
+    cache_table.add_row({"+superblocks (stitched traces)",
+                         format("%.2f", sb_on.sim_cycles / 1e6),
+                         format("%.2f", sb_on.wall_ms),
+                         format("%.2fx", sb_speedup)});
     cache_table.print();
-    std::printf("simulated-cycle delta: 0 (identical by construction; "
-                "asserted)\n");
+    std::printf("simulated-cycle delta: 0 across all three tiers "
+                "(identical by construction; asserted)\n");
 
     // ---- crypto data-plane ablation ----------------------------------
     // The same EncFs streaming workload under each data-plane device:
@@ -668,6 +686,11 @@ main()
     report.add("block_cache_on", "wall_speedup", cache_speedup);
     report.add("block_cache_on", "sim_cycle_delta",
                static_cast<double>(cache_on.sim_cycles -
+                                   cache_off.sim_cycles));
+    report.add("superblock_on", "wall_ms", sb_on.wall_ms);
+    report.add("superblock_on", "wall_speedup", sb_speedup);
+    report.add("superblock_on", "sim_cycle_delta",
+               static_cast<double>(sb_on.sim_cycles -
                                    cache_off.sim_cycles));
     for (size_t i = 0; i < 4; ++i) {
         report.add(crypto_rows[i].json_key, "wall_ms",

@@ -51,11 +51,13 @@ BENCHMARK(BM_AesCtr)->Arg(4096);
 
 /**
  * Interpreter throughput. `cache` toggles the predecoded basic-block
- * cache so its wall-clock win is visible in one report; simulated
- * cycles are identical either way (asserted by the ablation bench).
+ * cache and `superblock` the trace tier on top, so each tier's
+ * wall-clock win is visible in one report; simulated cycles are
+ * identical in every mode (asserted by the ablation bench).
  */
 void
-vm_interpreter_bench(benchmark::State &state, bool cache)
+vm_interpreter_bench(benchmark::State &state, bool cache,
+                     bool superblock)
 {
     vm::AddressSpace space;
     OCC_CHECK(space.map(0x1000, 0x1000, vm::kPermRX).ok());
@@ -74,35 +76,51 @@ vm_interpreter_bench(benchmark::State &state, bool cache)
     OCC_CHECK(space.write_raw(0x1000, code.data(), code.size()) ==
               vm::AccessFault::kNone);
     uint64_t hits = 0, misses = 0;
+    uint64_t promotions = 0, sb_entries = 0;
     for (auto _ : state) {
         vm::Cpu cpu(space);
         cpu.set_block_cache_enabled(cache);
+        cpu.set_superblock_enabled(superblock);
         cpu.set_rip(0x1000);
         cpu.set_sp(0x11000 - 16);
         benchmark::DoNotOptimize(cpu.run(100000));
         hits = cpu.block_cache_hits();
         misses = cpu.block_cache_misses();
+        promotions = cpu.superblock_promotions();
+        sb_entries = cpu.superblock_exec_hits();
         state.counters["instr/s"] = benchmark::Counter(
             static_cast<double>(cpu.instructions()),
             benchmark::Counter::kIsIterationInvariantRate);
     }
     state.counters["bb_hits"] = static_cast<double>(hits);
     state.counters["bb_misses"] = static_cast<double>(misses);
+    if (superblock) {
+        state.counters["sb_promotions"] = static_cast<double>(promotions);
+        state.counters["sb_entries"] = static_cast<double>(sb_entries);
+    }
 }
 
+/** The PR 2 tier-1 baseline: block cache on, superblock tier off. */
 void
 BM_VmInterpreter(benchmark::State &state)
 {
-    vm_interpreter_bench(state, /*cache=*/true);
+    vm_interpreter_bench(state, /*cache=*/true, /*superblock=*/false);
 }
 BENCHMARK(BM_VmInterpreter);
 
 void
 BM_VmInterpreterNoCache(benchmark::State &state)
 {
-    vm_interpreter_bench(state, /*cache=*/false);
+    vm_interpreter_bench(state, /*cache=*/false, /*superblock=*/false);
 }
 BENCHMARK(BM_VmInterpreterNoCache);
+
+void
+BM_VmInterpreterSuperblock(benchmark::State &state)
+{
+    vm_interpreter_bench(state, /*cache=*/true, /*superblock=*/true);
+}
+BENCHMARK(BM_VmInterpreterSuperblock);
 
 void
 BM_CompileMiniC(benchmark::State &state)

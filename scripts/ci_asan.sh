@@ -20,3 +20,11 @@ export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1:detect_stack_use_aft
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+# Extra leg: the vm tests with the superblock tier forced on, so the
+# trace translator, peephole fusions, and computed-goto replay loop
+# run under ASan/UBSan even for tests that would otherwise exercise
+# only the lower tiers (uop field-reuse bugs — pack slots, fused
+# check charges, trace linking — are exactly the out-of-bounds /
+# aliasing class sanitizers catch).
+OCCLUM_VM_SUPERBLOCK=1 "$BUILD_DIR/tests/vm_test"

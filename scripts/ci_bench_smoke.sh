@@ -25,6 +25,18 @@ fi
 grep -q '"rows"\|"name"' "$JSON" ||
     { echo "smoke failed: $JSON has no report payload" >&2; exit 1; }
 
-# The smoke snapshot is a CI artifact, not a recorded result.
-rm -rf "$OUT_DIR"
+# Superblock-off leg: the same bench with the trace tier pinned off
+# (OCCLUM_VM_SUPERBLOCK=0). The fig6cd report is simulated-time only
+# and the tier is a wall-clock device, so the two JSONs must be
+# byte-identical — any divergence means the tier perturbed simulated
+# results and fails CI here.
+OCCLUM_VM_SUPERBLOCK=0 BENCH_FILTER='bench_fig6cd_file_io' \
+    scripts/bench_record.sh "$BUILD_DIR" "$LABEL-sb0"
+JSON_SB0="bench/results/$LABEL-sb0/BENCH_fig6cd_file_io.json"
+cmp "$JSON" "$JSON_SB0" ||
+    { echo "smoke failed: superblock tier changed simulated results" >&2;
+      exit 1; }
+
+# The smoke snapshots are CI artifacts, not recorded results.
+rm -rf "$OUT_DIR" "bench/results/$LABEL-sb0"
 echo "bench smoke OK"

@@ -98,12 +98,9 @@ AddressSpace::flush_tlb() const
 }
 
 AddressSpace::Page *
-AddressSpace::lookup_page(uint64_t page_no) const
+AddressSpace::lookup_page_slow(uint64_t page_no) const
 {
     TlbEntry &entry = tlb_[page_no % kTlbEntries];
-    if (entry.page_no == page_no) {
-        return entry.page;
-    }
     auto it = pages_.find(page_no);
     if (it == pages_.end()) {
         return nullptr; // misses are not cached (map() must be seen)

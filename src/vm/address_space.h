@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 
@@ -73,6 +74,65 @@ class AddressSpace
     AccessFault write(uint64_t addr, const void *in, uint64_t len);
     AccessFault fetch(uint64_t addr, void *out, uint64_t len) const;
 
+    /**
+     * Width-templated single-access fast paths used by the superblock
+     * tier's micro-op loop: TLB probe, permission check, and the copy
+     * inline at the call site with a compile-time width, so the
+     * common in-page access never leaves the caller's frame. An
+     * access that straddles a page boundary falls back to the generic
+     * path. Coherence is identical to read()/write() — in particular
+     * a write into an executable page advances the code-generation
+     * counter, which is what lets folded guards stay sound: the trace
+     * re-checks the generation after every store.
+     */
+    template <uint64_t N>
+    AccessFault
+    read_fast(uint64_t addr, void *out) const
+    {
+        static_assert(N <= kPageSize);
+        if ((addr & kPageMask) + N <= kPageSize) {
+            Page *page = lookup_page(addr / kPageSize);
+            if (page == nullptr) {
+                return AccessFault::kUnmapped;
+            }
+            if (!(page->perms & kPermR)) {
+                return AccessFault::kNoRead;
+            }
+            if (page->data == nullptr) {
+                std::memset(out, 0, N); // lazy page: logically zeros
+            } else {
+                std::memcpy(out, page->data.get() + (addr & kPageMask), N);
+            }
+            return AccessFault::kNone;
+        }
+        return read(addr, out, N);
+    }
+
+    template <uint64_t N>
+    AccessFault
+    write_fast(uint64_t addr, const void *in)
+    {
+        static_assert(N <= kPageSize);
+        if ((addr & kPageMask) + N <= kPageSize) {
+            Page *page = lookup_page(addr / kPageSize);
+            if (page == nullptr) {
+                return AccessFault::kUnmapped;
+            }
+            if (!(page->perms & kPermW)) {
+                return AccessFault::kNoWrite;
+            }
+            if (page->data == nullptr) {
+                materialize(*page);
+            }
+            std::memcpy(page->data.get() + (addr & kPageMask), in, N);
+            if (page->perms & kPermX) {
+                touch_code();
+            }
+            return AccessFault::kNone;
+        }
+        return write(addr, in, N);
+    }
+
     // ---- trusted accessors used by the LibOS / loaders ---------------
     /** Copy bytes ignoring permissions (still faults on unmapped). */
     AccessFault read_raw(uint64_t addr, void *out, uint64_t len) const;
@@ -122,7 +182,18 @@ class AddressSpace
     /** First write to a lazy zero page: allocate + clear its backing. */
     static void materialize(Page &page);
 
-    Page *lookup_page(uint64_t page_no) const;
+    /** TLB probe, inline so the fast read/write paths never leave the
+     *  call site on a hit; the page-table walk stays out of line. */
+    Page *
+    lookup_page(uint64_t page_no) const
+    {
+        TlbEntry &entry = tlb_[page_no % kTlbEntries];
+        if (entry.page_no == page_no) {
+            return entry.page;
+        }
+        return lookup_page_slow(page_no);
+    }
+    Page *lookup_page_slow(uint64_t page_no) const;
     const Page *find_page(uint64_t addr) const;
     Page *find_page(uint64_t addr);
     void flush_tlb() const;

@@ -1,5 +1,7 @@
 #include "vm/cpu.h"
 
+#include <cstdlib>
+
 #include "base/log.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
@@ -15,6 +17,23 @@ namespace {
 constexpr size_t kMaxBlockInstrs = 64;
 
 bool g_default_block_cache_enabled = true;
+
+/**
+ * Process-wide superblock-tier default, read once from the
+ * environment (the crypto reference-mode pattern): default on,
+ * OCCLUM_VM_SUPERBLOCK=0 pins tier 1 for CI legs and bisection.
+ */
+bool
+initial_superblock_enabled()
+{
+    const char *env = std::getenv("OCCLUM_VM_SUPERBLOCK");
+    if (env == nullptr || env[0] == '\0') {
+        return true;
+    }
+    return env[0] != '0';
+}
+
+bool g_default_superblock_enabled = initial_superblock_enabled();
 
 FaultKind
 data_fault_kind(AccessFault fault)
@@ -56,10 +75,45 @@ Cpu::default_block_cache_enabled()
 }
 
 void
+Cpu::set_default_superblock_enabled(bool on)
+{
+    g_default_superblock_enabled = on;
+}
+
+bool
+Cpu::default_superblock_enabled()
+{
+    return g_default_superblock_enabled;
+}
+
+void
 Cpu::set_block_cache_enabled(bool on)
 {
     block_cache_enabled_ = on;
     block_cache_.clear();
+    superblocks_.clear(); // Block::sb pointers died with the blocks
+    reset_dispatch_counters();
+}
+
+void
+Cpu::set_superblock_enabled(bool on)
+{
+    superblock_enabled_ = on;
+    block_cache_.clear(); // drops exec counts and sb pointers together
+    superblocks_.clear();
+    reset_dispatch_counters();
+}
+
+void
+Cpu::reset_dispatch_counters()
+{
+    bb_hits_ = 0;
+    bb_misses_ = 0;
+    bb_invalidations_ = 0;
+    sb_promotions_ = 0;
+    sb_invalidations_ = 0;
+    sb_exec_hits_ = 0;
+    sb_guards_folded_ = 0;
 }
 
 uint64_t
@@ -80,39 +134,6 @@ Cpu::effective_address(const isa::MemOperand &mem, uint64_t instr_end) const
     OCC_PANIC("bad addr mode");
 }
 
-void
-Cpu::set_cmp_flags(uint64_t a, uint64_t b)
-{
-    uint64_t diff = a - b;
-    int64_t sa = static_cast<int64_t>(a);
-    int64_t sb = static_cast<int64_t>(b);
-    state_.flags.zf = (a == b);
-    state_.flags.sf = (static_cast<int64_t>(diff) < 0);
-    state_.flags.cf = (a < b);
-    // Signed overflow of a - b.
-    state_.flags.of = ((sa < 0) != (sb < 0)) &&
-                      ((sa < 0) != (static_cast<int64_t>(diff) < 0));
-}
-
-bool
-Cpu::eval_cond(isa::Cond cond) const
-{
-    const Flags &f = state_.flags;
-    switch (cond) {
-      case isa::Cond::kEq: return f.zf;
-      case isa::Cond::kNe: return !f.zf;
-      case isa::Cond::kLt: return f.sf != f.of;
-      case isa::Cond::kLe: return f.zf || (f.sf != f.of);
-      case isa::Cond::kGt: return !f.zf && (f.sf == f.of);
-      case isa::Cond::kGe: return f.sf == f.of;
-      case isa::Cond::kB: return f.cf;
-      case isa::Cond::kBe: return f.cf || f.zf;
-      case isa::Cond::kA: return !f.cf && !f.zf;
-      case isa::Cond::kAe: return !f.cf;
-    }
-    OCC_PANIC("bad cond");
-}
-
 CpuExit
 Cpu::run(uint64_t max_instructions)
 {
@@ -120,6 +141,10 @@ Cpu::run(uint64_t max_instructions)
     uint64_t before_hits = bb_hits_;
     uint64_t before_misses = bb_misses_;
     uint64_t before_inval = bb_invalidations_;
+    uint64_t before_sb_promote = sb_promotions_;
+    uint64_t before_sb_inval = sb_invalidations_;
+    uint64_t before_sb_hits = sb_exec_hits_;
+    uint64_t before_sb_folded = sb_guards_folded_;
     CpuExit exit = block_cache_enabled_
                        ? run_blocks(max_instructions)
                        : run_decode_loop(max_instructions);
@@ -140,11 +165,23 @@ Cpu::run(uint64_t max_instructions)
         &trace::Registry::instance().counter("vm.block_cache.misses");
     static trace::Counter *ctr_bb_inval =
         &trace::Registry::instance().counter("vm.block_cache.invalidations");
+    static trace::Counter *ctr_sb_promote =
+        &trace::Registry::instance().counter("vm.superblock.promotions");
+    static trace::Counter *ctr_sb_inval =
+        &trace::Registry::instance().counter("vm.superblock.invalidations");
+    static trace::Counter *ctr_sb_hits =
+        &trace::Registry::instance().counter("vm.superblock.exec_hits");
+    static trace::Counter *ctr_sb_folded =
+        &trace::Registry::instance().counter("vm.superblock.guards_folded");
     ctr_instrs->add(instructions_ - before_instrs);
     ctr_quanta->add();
     ctr_bb_hits->add(bb_hits_ - before_hits);
     ctr_bb_misses->add(bb_misses_ - before_misses);
     ctr_bb_inval->add(bb_invalidations_ - before_inval);
+    ctr_sb_promote->add(sb_promotions_ - before_sb_promote);
+    ctr_sb_inval->add(sb_invalidations_ - before_sb_inval);
+    ctr_sb_hits->add(sb_exec_hits_ - before_sb_hits);
+    ctr_sb_folded->add(sb_guards_folded_ - before_sb_folded);
     switch (exit.kind) {
       case ExitKind::kLtrap:
         ctr_ltraps->add();
@@ -167,14 +204,22 @@ Cpu::decode_at(uint64_t rip, Instruction *out)
 {
     uint8_t buf[16];
     uint64_t got = 0;
-    while (got < sizeof(buf)) {
-        if (mem_->fetch(rip + got, buf + got, 1) != AccessFault::kNone) {
-            break;
+    // One ranged fetch covers the whole window when it stays on a
+    // page; fall back to byte-wise only when the window crosses into
+    // an unfetchable page (the tail bytes may simply not exist).
+    if (mem_->fetch(rip, buf, sizeof(buf)) == AccessFault::kNone) {
+        got = sizeof(buf);
+    } else {
+        while (got < sizeof(buf)) {
+            if (mem_->fetch(rip + got, buf + got, 1) !=
+                AccessFault::kNone) {
+                break;
+            }
+            ++got;
         }
-        ++got;
-    }
-    if (got == 0) {
-        return FaultKind::kExecFault;
+        if (got == 0) {
+            return FaultKind::kExecFault;
+        }
     }
     auto decoded = isa::decode(buf, got, 0, rip);
     if (!decoded.ok()) {
@@ -195,6 +240,12 @@ Cpu::lookup_block(uint64_t rip, CpuExit *exit)
             return &cached->second;
         }
         ++bb_invalidations_; // stale block: discarded lazily, rebuilt
+        if (cached->second.sb != nullptr) {
+            // The stitched trace dies with its block (SMC or an
+            // X-perm change demotes this entry back to tier 1; it
+            // re-promotes once the rebuilt block gets hot again).
+            ++sb_invalidations_;
+        }
     }
     ++bb_misses_;
 
@@ -252,6 +303,38 @@ Cpu::run_blocks(uint64_t max_instructions)
             block = lookup_block(state_.rip, &exit);
             if (!block) {
                 return exit;
+            }
+        }
+        if (superblock_enabled_) {
+            // Tier-2 dispatch. Every path to this point validated the
+            // block against the current generation, and a block's sb
+            // is only ever set while the generations match, so a
+            // trace reached here is runnable; the generation check
+            // below is a defensive belt, not a hot path.
+            Superblock *sb = block->sb;
+            if (sb == nullptr &&
+                ++block->exec_count == kPromoteThreshold) {
+                sb = promote_superblock(block->instrs[0].address);
+                block->sb = sb;
+            }
+            if (sb != nullptr) {
+                if (sb->generation != mem_->code_generation()) {
+                    ++sb_invalidations_;
+                    block->sb = nullptr;
+                    block->exec_count = 0;
+                } else if (max_instructions - executed >=
+                           sb->first_n_instrs) {
+                    // (The budget guard keeps a trace whose first uop
+                    // needs more budget than remains from re-entering
+                    // forever; tier 1 finishes such slivers exactly.)
+                    ++sb_exec_hits_;
+                    if (exec_superblock(*sb, max_instructions, &executed,
+                                        &exit) == SbResult::kExit) {
+                        return exit;
+                    }
+                    block = nullptr;
+                    continue;
+                }
             }
         }
         const Instruction *instrs = block->instrs.data();

@@ -22,6 +22,17 @@
  * on mapping-permission changes involving X. Cycle accounting is
  * identical with the cache on or off: the same per-instruction
  * isa::cycle_cost is charged by the shared execute step.
+ *
+ * On top of the block cache sits the superblock tier (tier 2, see
+ * superblock.h): blocks that reach kPromoteThreshold dispatches are
+ * stitched into traces of pre-resolved micro-ops and replayed by a
+ * straight-line loop. The tier is wall-clock-only — simulated cycles,
+ * instruction counts, fault points, and quantum-slice boundaries are
+ * bit-identical to the other tiers — and rides the same generation
+ * counter for invalidation: self-modifying code and X-permission
+ * changes demote traces back to tier 1. The tier requires the block
+ * cache (promotion counts block dispatches); with the cache off it is
+ * inert.
  */
 #ifndef OCCLUM_VM_CPU_H
 #define OCCLUM_VM_CPU_H
@@ -33,6 +44,7 @@
 
 #include "isa/isa.h"
 #include "vm/address_space.h"
+#include "vm/superblock.h"
 
 namespace occlum::vm {
 
@@ -90,7 +102,8 @@ class Cpu
 {
   public:
     explicit Cpu(AddressSpace &mem)
-        : mem_(&mem), block_cache_enabled_(default_block_cache_enabled())
+        : mem_(&mem), block_cache_enabled_(default_block_cache_enabled()),
+          superblock_enabled_(default_superblock_enabled())
     {}
 
     // ---- state access ------------------------------------------------
@@ -114,7 +127,11 @@ class Cpu
     AddressSpace &mem() { return *mem_; }
 
     // ---- block-cache control -----------------------------------------
-    /** Enable/disable the basic-block cache (drops cached blocks). */
+    /**
+     * Enable/disable the basic-block cache. Drops cached blocks and
+     * superblocks and zeroes all dispatch counters, so ablation rows
+     * never mix counts from two tier configurations.
+     */
     void set_block_cache_enabled(bool on);
     bool block_cache_enabled() const { return block_cache_enabled_; }
 
@@ -132,6 +149,30 @@ class Cpu
     uint64_t block_cache_misses() const { return bb_misses_; }
     uint64_t block_cache_invalidations() const { return bb_invalidations_; }
     size_t block_cache_blocks() const { return block_cache_.size(); }
+
+    // ---- superblock-tier control -------------------------------------
+    /**
+     * Enable/disable the superblock tier (tier 2). Drops all cached
+     * state and zeroes the dispatch counters, like the block-cache
+     * toggle. Mirrors the crypto reference-mode pattern: the
+     * process-wide default comes from OCCLUM_VM_SUPERBLOCK ("0"
+     * disables; default on), and the static setter overrides it for
+     * ablation/bisection without threading a flag through every
+     * personality.
+     */
+    void set_superblock_enabled(bool on);
+    bool superblock_enabled() const { return superblock_enabled_; }
+    static void set_default_superblock_enabled(bool on);
+    static bool default_superblock_enabled();
+
+    /** Superblock statistics (per-Cpu; mirrored in the trace registry
+     *  as vm.superblock.{promotions,invalidations,exec_hits,
+     *  guards_folded}). */
+    uint64_t superblock_promotions() const { return sb_promotions_; }
+    uint64_t superblock_invalidations() const { return sb_invalidations_; }
+    uint64_t superblock_exec_hits() const { return sb_exec_hits_; }
+    uint64_t superblock_guards_folded() const { return sb_guards_folded_; }
+    size_t superblock_count() const { return superblocks_.size(); }
 
     // ---- execution -----------------------------------------------------
     /**
@@ -159,6 +200,12 @@ class Cpu
         std::array<uint64_t, 2> succ_rip{};
         std::array<Block *, 2> succ{};
         uint8_t succ_victim = 0;
+        /** Dispatch count; at kPromoteThreshold the block is stitched
+         *  into a superblock (tier 2). */
+        uint32_t exec_count = 0;
+        /** The promoted trace, or nullptr. Points into superblocks_;
+         *  valid while the generations match (checked at dispatch). */
+        Superblock *sb = nullptr;
     };
 
     /** What the shared execute step did with control flow. */
@@ -169,10 +216,26 @@ class Cpu
         kExit,     // run() must return `exit`
     };
 
+    /** How a superblock execution ended. */
+    enum class SbResult {
+        kLeft, // left the trace; rip is set, the outer loop continues
+        kExit, // run() must return `exit`
+    };
+
     /** Block-cached interpreter loop; run() wraps it with metrics. */
     CpuExit run_blocks(uint64_t max_instructions);
     /** Decode-every-time loop (cache off; the ablation baseline). */
     CpuExit run_decode_loop(uint64_t max_instructions);
+
+    /** Translate + install a superblock at entry_rip (tier 2);
+     *  nullptr when no useful trace exists. In superblock.cc. */
+    Superblock *promote_superblock(uint64_t entry_rip);
+    /** Replay a trace until it exits or the budget lands inside it.
+     *  Charges exactly what the per-instruction tiers would. */
+    SbResult exec_superblock(const Superblock &sb, uint64_t max_instructions,
+                             uint64_t *executed_io, CpuExit *exit);
+    /** Zero all bb/sb counters (tier toggles must not mix counts). */
+    void reset_dispatch_counters();
 
     /** Fetch + decode one instruction; kNone on success. */
     FaultKind decode_at(uint64_t rip, isa::Instruction *out);
@@ -186,8 +249,40 @@ class Cpu
     uint64_t effective_address(const isa::MemOperand &mem,
                                uint64_t instr_end) const;
 
-    bool eval_cond(isa::Cond cond) const;
-    void set_cmp_flags(uint64_t a, uint64_t b);
+    // Inline: both sit on the per-instruction hot path of every
+    // execution tier (tier 2 calls them from another TU).
+    bool
+    eval_cond(isa::Cond cond) const
+    {
+        const Flags &f = state_.flags;
+        switch (cond) {
+          case isa::Cond::kEq: return f.zf;
+          case isa::Cond::kNe: return !f.zf;
+          case isa::Cond::kLt: return f.sf != f.of;
+          case isa::Cond::kLe: return f.zf || (f.sf != f.of);
+          case isa::Cond::kGt: return !f.zf && (f.sf == f.of);
+          case isa::Cond::kGe: return f.sf == f.of;
+          case isa::Cond::kB: return f.cf;
+          case isa::Cond::kBe: return f.cf || f.zf;
+          case isa::Cond::kA: return !f.cf && !f.zf;
+          case isa::Cond::kAe: return !f.cf;
+        }
+        OCC_PANIC("bad cond");
+    }
+
+    void
+    set_cmp_flags(uint64_t a, uint64_t b)
+    {
+        uint64_t diff = a - b;
+        int64_t sa = static_cast<int64_t>(a);
+        int64_t sb = static_cast<int64_t>(b);
+        state_.flags.zf = (a == b);
+        state_.flags.sf = (static_cast<int64_t>(diff) < 0);
+        state_.flags.cf = (a < b);
+        // Signed overflow of a - b.
+        state_.flags.of = ((sa < 0) != (sb < 0)) &&
+                          ((sa < 0) != (static_cast<int64_t>(diff) < 0));
+    }
 
     AddressSpace *mem_;
     CpuState state_;
@@ -198,6 +293,16 @@ class Cpu
     uint64_t bb_hits_ = 0;
     uint64_t bb_misses_ = 0;
     uint64_t bb_invalidations_ = 0;
+
+    /** Installed traces, keyed by entry rip. Nodes are stable (never
+     *  erased, only replaced in place or cleared wholesale), so the
+     *  Block::sb pointers stay valid for the life of the cache. */
+    std::unordered_map<uint64_t, Superblock> superblocks_;
+    bool superblock_enabled_;
+    uint64_t sb_promotions_ = 0;
+    uint64_t sb_invalidations_ = 0;
+    uint64_t sb_exec_hits_ = 0;
+    uint64_t sb_guards_folded_ = 0;
 };
 
 } // namespace occlum::vm

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * The superblock tier: hot basic blocks are stitched into traces of
+ * pre-resolved micro-ops ("uops") and replayed by a straight-line
+ * dispatch loop (see Cpu::exec_superblock in superblock.cc).
+ *
+ * A superblock is a single-entry, multiple-exit trace built by
+ * following the static control flow from a hot block's entry rip:
+ * direct jumps are collapsed, direct calls are stitched through into
+ * the callee (the pushed return address is a translation-time
+ * constant), and returns — both plain `ret` and MMDSFI's
+ * `pop r14; cfi_guard; jmp *r14` rewrite — continue at the statically
+ * paired return site behind a guard that exits the trace if the
+ * runtime target disagrees. Conditional branches whose taken target
+ * is already in the trace become intra-trace jumps (loop back edges);
+ * all other branch directions become guarded exits. Exits are always
+ * safe: a mispredicted guard leaves the trace with the correct rip
+ * and tier 1 resumes there.
+ *
+ * Translation follows the translate-then-optimize pipeline: the trace
+ * is first lowered 1:1 into uops with operands bound (register slots,
+ * immediates, rip-relative addresses folded to constants), then a
+ * series of peephole passes runs over the linear buffer —
+ * bndcl/bndcu pairs fused, compare+branch fused, duplicate bound
+ * checks that a range analysis over the trace proves redundant folded
+ * to charge-only uops, and nop/label/collapsed-jump runs merged —
+ * before dead uops are compacted out and intra-trace targets
+ * relocated.
+ *
+ * Cycle accounting is bit-identical to the other tiers: every uop
+ * charges the exact per-instruction `isa::cycle_cost` sum of the
+ * instructions it covers, and a fused uop that faults in its first
+ * component charges only that component (`cost_head`). Folded guards
+ * still charge their cycles — only the dispatch and the re-check are
+ * removed, never the simulated time.
+ */
+#ifndef OCCLUM_VM_SUPERBLOCK_H
+#define OCCLUM_VM_SUPERBLOCK_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace occlum::vm {
+
+/** Execution-count threshold at which a block is promoted to tier 2. */
+constexpr uint32_t kPromoteThreshold = 12;
+/** Longest trace kept in one superblock, in original instructions. */
+constexpr size_t kMaxTraceInstrs = 512;
+/** Deepest direct-call nesting stitched through. */
+constexpr int kMaxStitchDepth = 8;
+
+/** Pre-resolved micro-op kinds. */
+enum class UopKind : uint8_t {
+    kDead,    // translation-time tombstone (never installed)
+    kCharge,  // charge cycles/instructions only (nops, labels,
+              // collapsed jumps, folded guards)
+
+    kMovRI, kMovRR,
+    kAddRI, kAddRR, kSubRI, kSubRR, kMulRI, kMulRR,
+    kDivRR, kModRR,
+    kAndRI, kAndRR, kOrRI, kOrRR, kXorRI, kXorRR,
+    kShlRI, kShrRI, kSarRI, kShlRR, kShrRR, kSarRR,
+    kNeg, kNot,
+    kCmpRI, kCmpRR, kTestRR,
+    kLea, kRdcycle,
+
+    kLoad, kStore,           // width in `size`; EA pre-resolved
+    kPush, kPushImm, kPop,
+
+    kBndChkMem, kBndChkReg,  // `mask` selects lo/hi; both = fused pair
+
+    kGoto,                   // unconditional intra-trace jump
+    kJccGoto,                // conditional intra-trace jump (back edge)
+    kJccExit,                // conditional: taken leaves the trace
+    kCmpRIJccGoto, kCmpRRJccGoto,  // fused compare + branch
+    kCmpRIJccExit, kCmpRRJccExit,
+
+    kCall,                   // stitched direct call: push const, fall through
+    kCallExit,               // direct call out of trace: push const, exit
+    kCallRegExit, kCallMemExit,
+    kJmpRegGuard,            // MMDSFI return: continue if reg == expected
+    kRetGuard,               // plain return: continue if [sp] == expected
+    kRetExit, kJmpRegExit, kJmpMemExit,
+    kExitTo,                 // leave the trace at a constant rip
+
+    kLtrap, kPriv,           // terminal: fill CpuExit
+
+    kAluPack,                // 2-3 packed register-ALU mini-ops
+    kAluPackBr,              // pack + fused compare + intra-trace branch
+    kLoadChk, kStoreChk,     // bound check(s) + access, one EA, one uop
+    kLoadAlu,                // load + one register-ALU mini-op
+};
+
+/** Number of UopKind values (size of the dispatch table). */
+constexpr size_t kNumUopKinds = static_cast<size_t>(UopKind::kLoadAlu) + 1;
+
+/** Pre-resolved effective-address modes (rip-rel/abs fold to kEaConst). */
+enum : uint8_t { kEaConst = 0, kEaBaseDisp = 1, kEaSib = 2 };
+
+/**
+ * One micro-op. Operands are bound at translation time.
+ *
+ * kAluPack reuses the EA fields as extra operand slots — register-ALU
+ * mini-ops never form addresses, so the slots are free. Component c of
+ * a pack is (sub-opcode, dst reg, src reg, immediate):
+ *   c0: (bnd,   reg1, reg2, imm)
+ *   c1: (mask,  base, index, disp)
+ *   c2: (scale, ea,   size,  exit_rip)   — only when n_instrs == 3
+ * Sub-opcodes are raw UopKind values from the packable subset (pure
+ * register ALU: no memory, no flags, no faults), so a pack can never
+ * exit mid-pack and `n_instrs`/`cost` cover the whole group.
+ *
+ * kLoadChk/kStoreChk fuse a kBndChkMem on the access operand into the
+ * access itself: the EA is computed once and the group dispatches
+ * once. `mask` keeps the check selector, `bnd` the bound register,
+ * `cost_head` the lo-check cost, `target` the cost of the whole check
+ * portion (charged when the hi check fails), and the three fault rips
+ * are `address` (lo), `address2` (hi), `exit_rip` (the access).
+ *
+ * kAluPackBr appends a fused compare + intra-trace branch to the
+ * pack, so a tight loop body dispatches once per iteration. The
+ * compare operands ride in `cost_head` (cmp reg1 | cmp reg2 << 8 |
+ * 0x10000 when the second operand is a register) with the RI
+ * immediate in `address2`; `cond`/`target` describe the branch. Only
+ * intra-trace branches merge, so `exit_rip` stays free for the c2
+ * slot, and packs cannot fault, so the fault-rip fields they shadow
+ * are never consulted.
+ *
+ * kLoadAlu appends one register-ALU mini-op to a plain load (the
+ * `load; op` idiom loop bodies produce once longer ALU runs have been
+ * packed). The load keeps its normal fields; the ALU rides in slots a
+ * load leaves free: `bnd` the sub-opcode, `mask` the destination
+ * register, `reg2` the source register, `imm` the immediate. Only the
+ * load can fault, and it is the first component, so a fault charges
+ * `cost_head` (the load alone) at `address` and the budget check
+ * refuses the pair whole.
+ */
+struct Uop {
+    UopKind kind = UopKind::kCharge;
+    uint8_t reg1 = 0;      // destination / first register slot
+    uint8_t reg2 = 0;      // source / second register slot
+    uint8_t base = 0;      // EA base register
+    uint8_t index = 0;     // EA index register
+    uint8_t scale = 0;     // EA scale (log2)
+    uint8_t ea = kEaConst; // EA mode
+    uint8_t bnd = 0;       // bound-register slot
+    uint8_t mask = 0;      // bound-check mask: 1 = lo, 2 = hi
+    uint8_t size = 0;      // memory access width (1/4/8)
+    uint8_t n_instrs = 1;  // original instructions covered
+    isa::Cond cond = isa::Cond::kEq;
+    uint32_t cost = 1;      // total cycles for the covered instructions
+    uint32_t cost_head = 0; // cycles of the first component of a fused pair
+    int32_t target = -1;    // intra-trace uop index (kGoto family)
+    int64_t imm = 0;        // ALU immediate / pushed value / ret pop bytes
+    int64_t disp = 0;       // EA displacement, or the constant EA itself
+    uint64_t exit_rip = 0;  // exit target / expected indirect target
+    uint64_t address = 0;   // first covered instruction (fault rip)
+    uint64_t address2 = 0;  // second fused component (fault rip)
+    uint64_t next_rip = 0;  // rip after the covered instructions
+    // Direct-threading slot: the dispatch label for `kind`, bound at
+    // install time so the hot loop loads one pointer instead of the
+    // dependent kind-then-table pair. Null outside computed-goto
+    // builds (the switch fallback dispatches on `kind`).
+    const void *handler = nullptr;
+};
+
+/** An installed trace. Valid while `generation` matches the space. */
+struct Superblock {
+    std::vector<Uop> uops;
+    uint64_t entry_rip = 0;
+    uint64_t generation = ~0ull;
+    uint32_t first_n_instrs = 1; // budget needed to enter the trace
+    uint32_t guards_folded = 0;  // fused pairs + elided duplicates
+};
+
+/** Decode callback: fills `out` at `rip`, false on fetch/decode fault. */
+using SbDecodeFn = std::function<bool(uint64_t rip, isa::Instruction *out)>;
+
+/**
+ * Build a superblock starting at `entry_rip`. Returns false when no
+ * useful trace exists (the entry instruction does not decode). The
+ * translator never executes anything and never touches simulated
+ * time; it is pure wall-clock work.
+ */
+bool translate_superblock(const SbDecodeFn &decode, uint64_t entry_rip,
+                          uint64_t generation, Superblock *out);
+
+// ---- peephole passes (superblock_peephole.cc) ---------------------------
+// All passes operate on the linear uop buffer between lowering and
+// compaction. `is_target[i]` marks uops that are intra-trace jump
+// targets; a pass must never merge a target into its predecessor and
+// must reset any dataflow assumptions at a target (control may enter
+// there from a back edge with different register state).
+namespace peephole {
+
+/** Registers written by a uop, as a bitmask (sp included). */
+uint32_t written_regs(const Uop &op);
+
+/**
+ * Fold bound checks that an earlier check on the same trace path
+ * already proves: an identical (bnd, EA/reg operand) check whose
+ * operand registers are unmodified since must produce the same
+ * outcome, and the earlier outcome was "pass" (a failure would have
+ * exited the trace). Folded checks become kCharge — simulated cycles
+ * are still charged; only the re-check is removed.
+ */
+void elide_duplicate_guards(std::vector<Uop> &uops,
+                            const std::vector<uint8_t> &is_target,
+                            uint32_t *folded);
+
+/** Fuse adjacent bndcl+bndcu on the same operand into one uop. */
+void fuse_bound_pairs(std::vector<Uop> &uops,
+                      const std::vector<uint8_t> &is_target,
+                      uint32_t *folded);
+
+/**
+ * Fuse a kBndChkMem (single or fused pair) into an immediately
+ * following kLoad/kStore on the *same* pre-resolved EA, producing
+ * kLoadChk/kStoreChk. Adjacency guarantees the operand registers
+ * cannot change between check and access, so one EA computation and
+ * one dispatch serve the whole guarded access. Fault points and
+ * cycle charges stay exactly tiered: lo-check fail charges
+ * `cost_head`, hi-check fail charges the check portion (`target`),
+ * an access fault charges the full group. A plain kCharge run in
+ * front of an access (elided guards, nops) fuses the same way with
+ * `mask` 0 — charge-then-access, no checks. Runs after
+ * collapse_charge_runs so a collapsed run is absorbed whole.
+ */
+void fuse_bound_accesses(std::vector<Uop> &uops,
+                         const std::vector<uint8_t> &is_target,
+                         uint32_t *folded);
+
+/** Fuse cmp reg,imm / cmp reg,reg followed by a conditional branch. */
+void fuse_compare_branches(std::vector<Uop> &uops,
+                           const std::vector<uint8_t> &is_target);
+
+/** Merge runs of adjacent kCharge uops (nops, labels, folded guards). */
+void collapse_charge_runs(std::vector<Uop> &uops,
+                          const std::vector<uint8_t> &is_target);
+
+/**
+ * Pack runs of 2-3 adjacent pure register-ALU uops into one kAluPack
+ * superinstruction (see the Uop field-reuse table). Packable uops
+ * cannot fault, touch memory, or set flags, so the pack executes
+ * atomically; the budget check refuses a whole pack exactly like any
+ * other multi-instruction uop and tier 1 finishes the tail. Runs last,
+ * after the other fusions have claimed their patterns.
+ */
+void fuse_alu_packs(std::vector<Uop> &uops,
+                    const std::vector<uint8_t> &is_target);
+
+/**
+ * Fuse a plain kLoad with a single following packable ALU uop into
+ * one kLoadAlu (any destination register — the ALU slots ride in
+ * fields the load leaves free). Runs after fuse_alu_packs so ALU runs
+ * of two or more keep the denser pack encoding and only lone
+ * leftovers merge here.
+ */
+void fuse_load_alu(std::vector<Uop> &uops,
+                   const std::vector<uint8_t> &is_target);
+
+/** Drop kDead uops and relocate intra-trace targets. */
+void compact(std::vector<Uop> &uops);
+
+} // namespace peephole
+
+} // namespace occlum::vm
+
+#endif // OCCLUM_VM_SUPERBLOCK_H

@@ -1,0 +1,572 @@
+/**
+ * @file
+ * Peephole passes over a superblock's linear uop buffer, run between
+ * 1:1 lowering and installation (the translate-then-optimize shape).
+ *
+ * Soundness rules shared by every pass:
+ *  - never merge a uop that is an intra-trace jump target into its
+ *    predecessor (control can enter at it from a back edge);
+ *  - reset all dataflow assumptions at a target (the incoming path is
+ *    unknown);
+ *  - bound registers are constants within a trace — every instruction
+ *    that can mutate them (bndmk/bndmov/xrstor) is dangerous and
+ *    terminates stitching — so a bound check is a pure function of
+ *    its operand registers;
+ *  - only *exact duplicates* of an earlier check are folded. Proving
+ *    subsumption from monotone displacements is unsound under
+ *    unsigned effective-address wraparound, so it is not attempted.
+ *  - folding never touches simulated time: a folded check becomes a
+ *    kCharge carrying its original cost and instruction count.
+ */
+#include "vm/superblock.h"
+
+namespace occlum::vm::peephole {
+
+uint32_t
+written_regs(const Uop &op)
+{
+    switch (op.kind) {
+      case UopKind::kMovRI:
+      case UopKind::kMovRR:
+      case UopKind::kAddRI: case UopKind::kAddRR:
+      case UopKind::kSubRI: case UopKind::kSubRR:
+      case UopKind::kMulRI: case UopKind::kMulRR:
+      case UopKind::kDivRR: case UopKind::kModRR:
+      case UopKind::kAndRI: case UopKind::kAndRR:
+      case UopKind::kOrRI: case UopKind::kOrRR:
+      case UopKind::kXorRI: case UopKind::kXorRR:
+      case UopKind::kShlRI: case UopKind::kShrRI: case UopKind::kSarRI:
+      case UopKind::kShlRR: case UopKind::kShrRR: case UopKind::kSarRR:
+      case UopKind::kNeg: case UopKind::kNot:
+      case UopKind::kLea:
+      case UopKind::kRdcycle:
+      case UopKind::kLoad:
+      case UopKind::kLoadChk:
+        return 1u << op.reg1;
+      case UopKind::kLoadAlu: // load dst + the ALU mini-op's dst
+        return (1u << op.reg1) | (1u << op.mask);
+      case UopKind::kPop:
+        return (1u << op.reg1) | (1u << isa::kSp);
+      case UopKind::kAluPack:
+        return (1u << op.reg1) | (1u << op.base) |
+               (op.n_instrs == 3 ? 1u << op.ea : 0u);
+      case UopKind::kAluPackBr: // pack + compare/branch (writes no regs)
+        return (1u << op.reg1) | (1u << op.base) |
+               (op.n_instrs == 5 ? 1u << op.ea : 0u);
+      case UopKind::kPush:
+      case UopKind::kPushImm:
+      case UopKind::kCall:
+      case UopKind::kCallExit:
+      case UopKind::kCallRegExit:
+      case UopKind::kCallMemExit:
+      case UopKind::kRetGuard:
+      case UopKind::kRetExit:
+        return 1u << isa::kSp;
+      default:
+        return 0; // charges, stores, compares, checks, branches
+    }
+}
+
+namespace {
+
+/** A bound check whose outcome is known to be "pass" at this point. */
+struct SeenCheck {
+    bool is_mem = false;
+    uint8_t bnd = 0;
+    uint8_t mask = 0; // bits already proven
+    // mem operand signature
+    uint8_t ea = kEaConst;
+    uint8_t base = 0;
+    uint8_t index = 0;
+    uint8_t scale = 0;
+    int64_t disp = 0;
+    // reg operand signature
+    uint8_t reg = 0;
+
+    bool
+    same_operand(const Uop &u, bool mem_check) const
+    {
+        if (is_mem != mem_check || bnd != u.bnd) {
+            return false;
+        }
+        if (is_mem) {
+            if (ea != u.ea) return false;
+            switch (ea) {
+              case kEaConst: return disp == u.disp;
+              case kEaBaseDisp: return base == u.base && disp == u.disp;
+              default:
+                return base == u.base && index == u.index &&
+                       scale == u.scale && disp == u.disp;
+            }
+        }
+        return reg == u.reg1;
+    }
+
+    bool
+    depends_on(uint32_t reg_mask) const
+    {
+        if (is_mem) {
+            switch (ea) {
+              case kEaConst: return false;
+              case kEaBaseDisp: return (reg_mask >> base) & 1;
+              default:
+                return ((reg_mask >> base) & 1) ||
+                       ((reg_mask >> index) & 1);
+            }
+        }
+        return (reg_mask >> reg) & 1;
+    }
+};
+
+} // namespace
+
+void
+elide_duplicate_guards(std::vector<Uop> &uops,
+                       const std::vector<uint8_t> &is_target,
+                       uint32_t *folded)
+{
+    std::vector<SeenCheck> seen;
+    for (size_t i = 0; i < uops.size(); ++i) {
+        if (is_target[i]) {
+            seen.clear(); // join point: forget everything
+        }
+        Uop &u = uops[i];
+        if (u.kind == UopKind::kBndChkMem ||
+            u.kind == UopKind::kBndChkReg) {
+            bool mem_check = u.kind == UopKind::kBndChkMem;
+            SeenCheck *match = nullptr;
+            for (SeenCheck &c : seen) {
+                if (c.same_operand(u, mem_check)) {
+                    match = &c;
+                    break;
+                }
+            }
+            if (match != nullptr && (match->mask & u.mask) == u.mask) {
+                // The identical check already passed on every path
+                // reaching here — re-checking is pure dispatch cost.
+                u.kind = UopKind::kCharge;
+                ++*folded;
+            } else if (match != nullptr) {
+                match->mask |= u.mask;
+            } else {
+                SeenCheck c;
+                c.is_mem = mem_check;
+                c.bnd = u.bnd;
+                c.mask = u.mask;
+                c.ea = u.ea;
+                c.base = u.base;
+                c.index = u.index;
+                c.scale = u.scale;
+                c.disp = u.disp;
+                c.reg = u.reg1;
+                seen.push_back(c);
+            }
+            continue;
+        }
+        uint32_t w = written_regs(u);
+        if (w != 0) {
+            for (size_t k = 0; k < seen.size();) {
+                if (seen[k].depends_on(w)) {
+                    seen[k] = seen.back();
+                    seen.pop_back();
+                } else {
+                    ++k;
+                }
+            }
+        }
+    }
+}
+
+void
+fuse_bound_pairs(std::vector<Uop> &uops,
+                 const std::vector<uint8_t> &is_target, uint32_t *folded)
+{
+    for (size_t i = 0; i + 1 < uops.size(); ++i) {
+        Uop &a = uops[i];
+        if ((a.kind != UopKind::kBndChkMem &&
+             a.kind != UopKind::kBndChkReg) ||
+            a.mask != 1) {
+            continue; // head must be an unfused lower check
+        }
+        if (is_target[i + 1]) {
+            continue; // the upper check is independently reachable
+        }
+        Uop &b = uops[i + 1];
+        if (b.kind != a.kind || b.mask != 2 || b.bnd != a.bnd) {
+            continue;
+        }
+        if (a.kind == UopKind::kBndChkMem) {
+            if (b.ea != a.ea || b.base != a.base || b.index != a.index ||
+                b.scale != a.scale || b.disp != a.disp) {
+                continue;
+            }
+        } else if (b.reg1 != a.reg1) {
+            continue;
+        }
+        // One EA computation, one charge, one dispatch for the pair.
+        a.mask = 3;
+        a.cost_head = a.cost;
+        a.cost += b.cost;
+        a.n_instrs = static_cast<uint8_t>(a.n_instrs + b.n_instrs);
+        a.address2 = b.address;
+        a.next_rip = b.next_rip;
+        b.kind = UopKind::kDead;
+        ++*folded;
+    }
+}
+
+namespace {
+
+/**
+ * Index of the next live uop after `i`, skipping kDead slots left by
+ * earlier merges — provided control cannot enter sideways: every
+ * skipped slot and the returned one must not be a branch target.
+ * Earlier passes merge into the *earlier* slot, so a dead slot
+ * between two live uops covers no instructions and fusing across it
+ * is exactly fusing program-adjacent uops (callers double-check with
+ * the next_rip/address contiguity test). SIZE_MAX when nothing fuses.
+ */
+size_t
+next_live(const std::vector<Uop> &uops,
+          const std::vector<uint8_t> &is_target, size_t i)
+{
+    for (size_t j = i + 1; j < uops.size(); ++j) {
+        if (is_target[j]) {
+            return SIZE_MAX;
+        }
+        if (uops[j].kind != UopKind::kDead) {
+            return j;
+        }
+    }
+    return SIZE_MAX;
+}
+
+} // namespace
+
+void
+fuse_bound_accesses(std::vector<Uop> &uops,
+                    const std::vector<uint8_t> &is_target,
+                    uint32_t *folded)
+{
+    for (size_t i = 0; i + 1 < uops.size(); ++i) {
+        Uop &chk = uops[i];
+        // kCharge heads fuse too (mask 0 = no checks): an elided
+        // guard or nop run in front of an access is pure dispatch
+        // cost, and the merged uop's all-or-nothing budget handling
+        // already covers multi-instruction groups.
+        bool is_check = chk.kind == UopKind::kBndChkMem;
+        if (!is_check && chk.kind != UopKind::kCharge) {
+            continue;
+        }
+        // A fused bndcl+bndcu pair leaves a dead slot between the
+        // check and the access it guards; skip over merge tombstones.
+        size_t j = next_live(uops, is_target, i);
+        if (j == SIZE_MAX || chk.next_rip != uops[j].address) {
+            continue;
+        }
+        Uop &acc = uops[j];
+        if (acc.kind != UopKind::kLoad && acc.kind != UopKind::kStore) {
+            continue;
+        }
+        if (is_check &&
+            (acc.ea != chk.ea || acc.base != chk.base ||
+             acc.index != chk.index || acc.scale != chk.scale ||
+             acc.disp != chk.disp)) {
+            continue; // the check guards a different address
+        }
+        if (chk.n_instrs + acc.n_instrs > 255) {
+            continue;
+        }
+        // Fold the access into the head's slot (the head may be a
+        // branch target; the access is not). A check's charge tiers
+        // ride along: cost_head for a lo fail (single checks charge
+        // their own cost), `target` for the whole check portion.
+        if (is_check) {
+            chk.cost_head = chk.mask == 3 ? chk.cost_head : chk.cost;
+            chk.target = static_cast<int32_t>(chk.cost);
+            ++*folded;
+        } else {
+            chk.mask = 0; // no checks, charge-then-access only
+            chk.ea = acc.ea;
+            chk.base = acc.base;
+            chk.index = acc.index;
+            chk.scale = acc.scale;
+            chk.disp = acc.disp;
+        }
+        chk.kind = acc.kind == UopKind::kLoad ? UopKind::kLoadChk
+                                              : UopKind::kStoreChk;
+        chk.reg1 = acc.reg1;
+        chk.size = acc.size;
+        chk.exit_rip = acc.address; // the access's own fault rip
+        chk.cost += acc.cost;
+        chk.n_instrs = static_cast<uint8_t>(chk.n_instrs + acc.n_instrs);
+        chk.next_rip = acc.next_rip;
+        acc.kind = UopKind::kDead;
+        i = j;
+    }
+}
+
+void
+fuse_compare_branches(std::vector<Uop> &uops,
+                      const std::vector<uint8_t> &is_target)
+{
+    for (size_t i = 0; i + 1 < uops.size(); ++i) {
+        Uop &a = uops[i];
+        if (a.kind != UopKind::kCmpRI && a.kind != UopKind::kCmpRR) {
+            continue;
+        }
+        size_t j = next_live(uops, is_target, i);
+        if (j == SIZE_MAX || a.next_rip != uops[j].address) {
+            continue;
+        }
+        Uop &b = uops[j];
+        bool to_goto = b.kind == UopKind::kJccGoto;
+        if (!to_goto && b.kind != UopKind::kJccExit) {
+            continue;
+        }
+        if (a.kind == UopKind::kCmpRI) {
+            a.kind = to_goto ? UopKind::kCmpRIJccGoto
+                             : UopKind::kCmpRIJccExit;
+        } else {
+            a.kind = to_goto ? UopKind::kCmpRRJccGoto
+                             : UopKind::kCmpRRJccExit;
+        }
+        a.cond = b.cond;
+        a.target = b.target;
+        a.exit_rip = b.exit_rip;
+        a.cost_head = a.cost;
+        a.cost += b.cost;
+        a.n_instrs = static_cast<uint8_t>(a.n_instrs + b.n_instrs);
+        a.address2 = b.address;
+        a.next_rip = b.next_rip;
+        b.kind = UopKind::kDead;
+    }
+}
+
+void
+collapse_charge_runs(std::vector<Uop> &uops,
+                     const std::vector<uint8_t> &is_target)
+{
+    size_t i = 0;
+    while (i < uops.size()) {
+        if (uops[i].kind != UopKind::kCharge) {
+            ++i;
+            continue;
+        }
+        size_t j = i + 1;
+        while (j < uops.size() && uops[j].kind == UopKind::kCharge &&
+               !is_target[j] &&
+               uops[i].n_instrs + uops[j].n_instrs <= 255) {
+            uops[i].cost += uops[j].cost;
+            uops[i].n_instrs =
+                static_cast<uint8_t>(uops[i].n_instrs + uops[j].n_instrs);
+            uops[i].next_rip = uops[j].next_rip;
+            uops[j].kind = UopKind::kDead;
+            ++j;
+        }
+        i = j;
+    }
+}
+
+namespace {
+
+/**
+ * Pure register-ALU uops: no memory access, no flags, no possible
+ * fault. Only these may ride inside a kAluPack — anything that can
+ * exit mid-uop would break the pack's all-or-nothing accounting.
+ * (kLea is excluded because packs reuse its EA fields; kDivRR/kModRR
+ * fault on zero; compares set flags; kRdcycle reads simulated time.)
+ */
+bool
+is_packable(const Uop &u)
+{
+    switch (u.kind) {
+      case UopKind::kMovRI: case UopKind::kMovRR:
+      case UopKind::kAddRI: case UopKind::kAddRR:
+      case UopKind::kSubRI: case UopKind::kSubRR:
+      case UopKind::kMulRI: case UopKind::kMulRR:
+      case UopKind::kAndRI: case UopKind::kAndRR:
+      case UopKind::kOrRI: case UopKind::kOrRR:
+      case UopKind::kXorRI: case UopKind::kXorRR:
+      case UopKind::kShlRI: case UopKind::kShrRI: case UopKind::kSarRI:
+      case UopKind::kShlRR: case UopKind::kShrRR: case UopKind::kSarRR:
+      case UopKind::kNeg: case UopKind::kNot:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+fuse_alu_packs(std::vector<Uop> &uops,
+               const std::vector<uint8_t> &is_target)
+{
+    for (size_t h = 0; h + 1 < uops.size(); ++h) {
+        Uop &a = uops[h];
+        if (!is_packable(a)) {
+            continue;
+        }
+        size_t jb = next_live(uops, is_target, h);
+        if (jb == SIZE_MAX || a.next_rip != uops[jb].address) {
+            continue;
+        }
+        // A lone packable ALU in front of a fused compare + intra-trace
+        // branch still merges (the common `i += k; cmp; jcc` loop
+        // tail): the c1 slot becomes a harmless identity move and the
+        // group dispatches once per iteration.
+        if (!is_packable(uops[jb])) {
+            if (uops[jb].kind != UopKind::kCmpRIJccGoto &&
+                uops[jb].kind != UopKind::kCmpRRJccGoto) {
+                continue;
+            }
+            Uop &br = uops[jb];
+            a.bnd = static_cast<uint8_t>(a.kind); // c0 slot
+            a.kind = UopKind::kAluPackBr;
+            a.mask = static_cast<uint8_t>(UopKind::kMovRR); // c1: r0 = r0
+            a.base = 0;
+            a.index = 0;
+            a.cond = br.cond;
+            a.target = br.target; // pre-compact index; compact relocates
+            a.cost_head =
+                static_cast<uint32_t>(br.reg1) |
+                (static_cast<uint32_t>(br.reg2) << 8) |
+                (br.kind == UopKind::kCmpRRJccGoto ? 0x10000u : 0u);
+            a.address2 = br.kind == UopKind::kCmpRIJccGoto
+                             ? static_cast<uint64_t>(br.imm)
+                             : 0;
+            a.cost += br.cost;
+            a.n_instrs = static_cast<uint8_t>(a.n_instrs + br.n_instrs);
+            a.next_rip = br.next_rip;
+            br.kind = UopKind::kDead;
+            h = jb;
+            continue;
+        }
+        Uop &b = uops[jb];
+        a.bnd = static_cast<uint8_t>(a.kind); // c0 slot (see Uop docs)
+        a.kind = UopKind::kAluPack;
+        a.mask = static_cast<uint8_t>(b.kind); // c1 slot
+        a.base = b.reg1;
+        a.index = b.reg2;
+        a.disp = b.imm;
+        a.cost += b.cost;
+        a.n_instrs = 2;
+        a.address2 = b.address;
+        a.next_rip = b.next_rip;
+        b.kind = UopKind::kDead;
+        size_t last = jb;
+        size_t jc = next_live(uops, is_target, last);
+        if (jc != SIZE_MAX && a.next_rip == uops[jc].address &&
+            is_packable(uops[jc])) {
+            Uop &c = uops[jc];
+            a.scale = static_cast<uint8_t>(c.kind); // c2 slot
+            a.ea = c.reg1;
+            a.size = c.reg2;
+            a.exit_rip = static_cast<uint64_t>(c.imm);
+            a.cost += c.cost;
+            a.n_instrs = 3;
+            a.address2 = c.address;
+            a.next_rip = c.next_rip;
+            c.kind = UopKind::kDead;
+            last = jc;
+        }
+        // A fused compare + intra-trace branch right behind the pack
+        // merges into it (kAluPackBr): the whole loop body becomes a
+        // single uop, one dispatch per iteration. Exit branches keep
+        // their own uop — they need exit_rip, which the c2 slot owns.
+        size_t jr = next_live(uops, is_target, last);
+        if (jr != SIZE_MAX && a.next_rip == uops[jr].address &&
+            (uops[jr].kind == UopKind::kCmpRIJccGoto ||
+             uops[jr].kind == UopKind::kCmpRRJccGoto)) {
+            Uop &br = uops[jr];
+            a.kind = UopKind::kAluPackBr;
+            a.cond = br.cond;
+            a.target = br.target; // pre-compact index; compact relocates
+            a.cost_head =
+                static_cast<uint32_t>(br.reg1) |
+                (static_cast<uint32_t>(br.reg2) << 8) |
+                (br.kind == UopKind::kCmpRRJccGoto ? 0x10000u : 0u);
+            a.address2 = br.kind == UopKind::kCmpRIJccGoto
+                             ? static_cast<uint64_t>(br.imm)
+                             : 0;
+            a.cost += br.cost;
+            a.n_instrs = static_cast<uint8_t>(a.n_instrs + br.n_instrs);
+            a.next_rip = br.next_rip;
+            br.kind = UopKind::kDead;
+            last = jr;
+        }
+        h = last;
+    }
+}
+
+void
+fuse_load_alu(std::vector<Uop> &uops,
+              const std::vector<uint8_t> &is_target)
+{
+    for (size_t i = 0; i + 1 < uops.size(); ++i) {
+        Uop &ld = uops[i];
+        if (ld.kind != UopKind::kLoad) {
+            continue;
+        }
+        size_t j = next_live(uops, is_target, i);
+        if (j == SIZE_MAX || ld.next_rip != uops[j].address ||
+            !is_packable(uops[j])) {
+            continue;
+        }
+        Uop &alu = uops[j];
+        if (ld.n_instrs + alu.n_instrs > 255) {
+            continue;
+        }
+        ld.kind = UopKind::kLoadAlu;
+        ld.bnd = static_cast<uint8_t>(alu.kind);
+        ld.mask = alu.reg1;
+        ld.reg2 = alu.reg2;
+        ld.imm = alu.imm;
+        ld.cost_head = ld.cost;
+        ld.cost += alu.cost;
+        ld.n_instrs = static_cast<uint8_t>(ld.n_instrs + alu.n_instrs);
+        ld.next_rip = alu.next_rip;
+        alu.kind = UopKind::kDead;
+        i = j;
+    }
+}
+
+void
+compact(std::vector<Uop> &uops)
+{
+    std::vector<int32_t> new_index(uops.size(), -1);
+    int32_t live = 0;
+    for (size_t i = 0; i < uops.size(); ++i) {
+        if (uops[i].kind != UopKind::kDead) {
+            new_index[i] = live++;
+        }
+    }
+    if (static_cast<size_t>(live) == uops.size()) {
+        return; // nothing died; indices are already correct
+    }
+    std::vector<Uop> out;
+    out.reserve(static_cast<size_t>(live));
+    for (size_t i = 0; i < uops.size(); ++i) {
+        if (uops[i].kind == UopKind::kDead) {
+            continue;
+        }
+        Uop u = uops[i];
+        // Only branch kinds hold a uop index in `target`
+        // (kLoadChk/kStoreChk reuse the field as the check-portion
+        // cycle charge — relocating that would corrupt accounting).
+        bool target_is_index =
+            u.kind == UopKind::kGoto || u.kind == UopKind::kJccGoto ||
+            u.kind == UopKind::kCmpRIJccGoto ||
+            u.kind == UopKind::kCmpRRJccGoto ||
+            u.kind == UopKind::kAluPackBr;
+        if (target_is_index && u.target >= 0) {
+            // Dead uops are never targets, so the slot is valid.
+            u.target = new_index[static_cast<size_t>(u.target)];
+        }
+        out.push_back(u);
+    }
+    uops = std::move(out);
+}
+
+} // namespace occlum::vm::peephole

@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "isa/assembler.h"
 #include "vm/address_space.h"
 #include "vm/cpu.h"
@@ -456,6 +458,10 @@ encoded_len(EmitFn emit)
 TEST(BlockCache, HitsAccumulateAcrossLoopIterations)
 {
     VmHarness h;
+    // This test asserts tier-1 dispatch-counter mechanics; with the
+    // superblock tier on, the loop would promote at the threshold and
+    // bb-hit accumulation would freeze at ~kPromoteThreshold.
+    h.cpu.set_superblock_enabled(false);
     isa::Assembler a(kCode);
     a.mov_ri(1, 0);
     a.mov_ri(2, 100);
@@ -680,6 +686,516 @@ TEST(BlockCache, CfiLabelStartsANewBlock)
     EXPECT_EQ(h.cpu.run(100).kind, ExitKind::kLtrap);
     EXPECT_EQ(h.cpu.instructions() - before, 3u); // cfi, mov, ltrap
     EXPECT_EQ(h.cpu.block_cache_misses(), 2u);    // no new decode
+}
+
+// ---- superblock tier (tier 2) -----------------------------------------
+
+/**
+ * The superblock battery tests the tier itself, so it must run with
+ * the tier available even when OCCLUM_VM_SUPERBLOCK=0 pins the
+ * process default off (CI bisection legs run the whole suite that
+ * way). The fixture forces the default on and restores the
+ * env-derived value afterwards; tier-off comparisons inside the
+ * tests still use the per-cpu set_superblock_enabled(false).
+ */
+class Superblock : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        saved_default_ = Cpu::default_superblock_enabled();
+        Cpu::set_default_superblock_enabled(true);
+    }
+    void TearDown() override
+    {
+        Cpu::set_default_superblock_enabled(saved_default_);
+    }
+
+  private:
+    bool saved_default_ = true;
+};
+
+TEST_F(Superblock, OnOffBitIdenticalInCyclesAndState)
+{
+    // A hot loop well past the promotion threshold, mixing ALU ops,
+    // memory traffic, stack ops, and rdcycle. rdcycle snapshots the
+    // cycle counter *mid-trace* into an architectural register, so
+    // equality of the final registers proves cycle accounting is
+    // exact at every instruction boundary, not just at exit.
+    auto program = [](isa::Assembler &a) {
+        a.mov_ri(1, 0);
+        a.mov_ri(2, 200);
+        a.bind("loop");
+        a.store(mem_abs(kData), 1);
+        a.load(3, mem_abs(kData));
+        a.add_rr(1, 3);
+        a.shl_ri(3, 1);
+        a.push(3);
+        a.pop(4);
+        a.xor_rr(4, 1);
+        a.rdcycle(5);
+        a.sub_ri(2, 1);
+        a.cmp_ri(2, 0);
+        a.jcc(Cond::kNe, "loop");
+        a.ltrap();
+    };
+    VmHarness on;
+    VmHarness off;
+    off.cpu.set_superblock_enabled(false);
+    ASSERT_TRUE(on.cpu.superblock_enabled());
+
+    isa::Assembler a1(kCode);
+    program(a1);
+    CpuExit e1 = on.run(a1);
+    isa::Assembler a2(kCode);
+    program(a2);
+    CpuExit e2 = off.run(a2);
+
+    EXPECT_EQ(e1.kind, e2.kind);
+    EXPECT_EQ(on.cpu.cycles(), off.cpu.cycles());
+    EXPECT_EQ(on.cpu.instructions(), off.cpu.instructions());
+    EXPECT_EQ(on.cpu.rip(), off.cpu.rip());
+    for (int r = 0; r < isa::kNumRegs; ++r) {
+        EXPECT_EQ(on.cpu.reg(r), off.cpu.reg(r)) << "reg " << r;
+    }
+    // One trace entry replays the whole remaining loop via its back
+    // edge, so hits count entries, not iterations.
+    EXPECT_GE(on.cpu.superblock_promotions(), 1u);
+    EXPECT_GE(on.cpu.superblock_exec_hits(), 1u);
+    EXPECT_EQ(off.cpu.superblock_promotions(), 0u);
+    EXPECT_EQ(off.cpu.superblock_exec_hits(), 0u);
+}
+
+TEST_F(Superblock, SmcInsideStitchedTraceDemotesToTier1)
+{
+    // A store buried mid-trace patches the immediate of a *later*
+    // instruction in the same stitched loop body. The store executes
+    // long after promotion; the trace must notice the generation bump
+    // at the store uop, exit, and demote, and the patched byte must
+    // take effect on the very next instruction — same as tier 1.
+    auto build = [](isa::Assembler &a, uint64_t patch_addr) {
+        a.mov_ri(1, 0);
+        a.mov_ri(2, 100);
+        a.mov_ri(3, static_cast<int64_t>(patch_addr));
+        a.mov_ri(5, 5);
+        a.bind("loop");
+        a.cmp_ri(2, 40);
+        a.jcc(Cond::kNe, "skip"); // store runs exactly once, at r2==40
+        a.store8(mem_bd(3, 0), 5);
+        a.bind("skip");
+        a.mov_ri(4, 7); // immediate patched 7 -> 5 mid-run
+        a.add_rr(1, 4);
+        a.sub_ri(2, 1);
+        a.cmp_ri(2, 0);
+        a.jcc(Cond::kNe, "loop");
+        a.ltrap();
+    };
+    size_t mov_len =
+        encoded_len([](isa::Assembler &a) { a.mov_ri(4, 7); });
+    size_t cmp_len =
+        encoded_len([](isa::Assembler &a) { a.cmp_ri(2, 40); });
+    size_t jcc_len = encoded_len([](isa::Assembler &a) {
+        a.bind("l");
+        a.jcc(Cond::kNe, "l");
+    });
+    size_t store_len = encoded_len(
+        [](isa::Assembler &a) { a.store8(mem_bd(3, 0), 5); });
+    // The first immediate byte of `mov r4, 7` sits 2 bytes into it.
+    uint64_t patch_addr =
+        kCode + 4 * mov_len + cmp_len + jcc_len + store_len + 2;
+
+    VmHarness on;
+    VmHarness off;
+    ASSERT_TRUE(on.space.protect(kCode, 0x1000, kPermRWX).ok());
+    ASSERT_TRUE(off.space.protect(kCode, 0x1000, kPermRWX).ok());
+    off.cpu.set_superblock_enabled(false);
+
+    isa::Assembler a1(kCode);
+    build(a1, patch_addr);
+    CpuExit e1 = on.run(a1);
+    isa::Assembler a2(kCode);
+    build(a2, patch_addr);
+    CpuExit e2 = off.run(a2);
+
+    EXPECT_EQ(e1.kind, ExitKind::kLtrap);
+    EXPECT_EQ(e2.kind, ExitKind::kLtrap);
+    // 60 iterations at 7, then the patch lands, then 40 at 5.
+    EXPECT_EQ(on.cpu.reg(1), 60u * 7 + 40u * 5);
+    EXPECT_EQ(off.cpu.reg(1), on.cpu.reg(1));
+    EXPECT_EQ(on.cpu.cycles(), off.cpu.cycles());
+    EXPECT_EQ(on.cpu.instructions(), off.cpu.instructions());
+    EXPECT_GE(on.cpu.superblock_promotions(), 1u);
+    EXPECT_GE(on.cpu.superblock_invalidations(), 1u);
+}
+
+TEST_F(Superblock, MprotectOnExecPagesDemotesAndRepromotes)
+{
+    auto program = [](isa::Assembler &a) {
+        a.mov_ri(1, 0);
+        a.mov_ri(2, 100);
+        a.bind("loop");
+        a.add_ri(1, 2);
+        a.sub_ri(2, 1);
+        a.cmp_ri(2, 0);
+        a.jcc(Cond::kNe, "loop");
+        a.ltrap();
+    };
+    VmHarness h;
+    isa::Assembler a(kCode);
+    program(a);
+    EXPECT_EQ(h.run(a).kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.reg(1), 200u);
+    uint64_t promos = h.cpu.superblock_promotions();
+    EXPECT_GE(promos, 1u);
+    EXPECT_GE(h.cpu.superblock_count(), 1u);
+
+    // An X-permission round trip (the SGX runtime_protect path) must
+    // demote every installed trace.
+    ASSERT_TRUE(h.space.protect(kCode, 0x1000, kPermR).ok());
+    ASSERT_TRUE(h.space.protect(kCode, 0x1000, kPermRX).ok());
+
+    h.cpu.set_reg(1, 0);
+    h.cpu.set_reg(2, 100);
+    h.cpu.set_rip(kCode);
+    EXPECT_EQ(h.cpu.run(1'000'000).kind, ExitKind::kLtrap);
+    EXPECT_EQ(h.cpu.reg(1), 200u);
+    EXPECT_GE(h.cpu.superblock_invalidations(), 1u);
+    // The loop is hot again, so the rebuilt block re-promotes.
+    EXPECT_GT(h.cpu.superblock_promotions(), promos);
+}
+
+TEST_F(Superblock, TierTogglesResetDispatchCounters)
+{
+    auto program = [](isa::Assembler &a) {
+        a.mov_ri(1, 0);
+        a.mov_ri(2, 100);
+        a.bind("loop");
+        a.add_ri(1, 1);
+        a.sub_ri(2, 1);
+        a.cmp_ri(2, 0);
+        a.jcc(Cond::kNe, "loop");
+        a.ltrap();
+    };
+    auto expect_all_zero = [](const Cpu &cpu, const char *where) {
+        EXPECT_EQ(cpu.block_cache_hits(), 0u) << where;
+        EXPECT_EQ(cpu.block_cache_misses(), 0u) << where;
+        EXPECT_EQ(cpu.block_cache_invalidations(), 0u) << where;
+        EXPECT_EQ(cpu.superblock_promotions(), 0u) << where;
+        EXPECT_EQ(cpu.superblock_invalidations(), 0u) << where;
+        EXPECT_EQ(cpu.superblock_exec_hits(), 0u) << where;
+        EXPECT_EQ(cpu.superblock_guards_folded(), 0u) << where;
+        EXPECT_EQ(cpu.superblock_count(), 0u) << where;
+    };
+    VmHarness h;
+    isa::Assembler a(kCode);
+    program(a);
+    EXPECT_EQ(h.run(a).kind, ExitKind::kLtrap);
+    EXPECT_GT(h.cpu.block_cache_misses(), 0u);
+    EXPECT_GE(h.cpu.superblock_promotions(), 1u);
+
+    // Disabling the tier drops all cached state and zeroes every
+    // dispatch counter — ablation rows never mix configurations.
+    h.cpu.set_superblock_enabled(false);
+    expect_all_zero(h.cpu, "after superblock off");
+    EXPECT_EQ(h.cpu.block_cache_blocks(), 0u);
+
+    h.cpu.set_reg(1, 0);
+    h.cpu.set_reg(2, 100);
+    h.cpu.set_rip(kCode);
+    EXPECT_EQ(h.cpu.run(1'000'000).kind, ExitKind::kLtrap);
+    EXPECT_GT(h.cpu.block_cache_hits(), 90u); // tier-1 counts resume
+    EXPECT_EQ(h.cpu.superblock_promotions(), 0u);
+
+    h.cpu.set_superblock_enabled(true);
+    expect_all_zero(h.cpu, "after superblock on");
+
+    h.cpu.set_block_cache_enabled(false);
+    expect_all_zero(h.cpu, "after block cache off");
+}
+
+TEST(SuperblockDefault, FollowsEnvAndStaticSetter)
+{
+    // Mirrors the crypto reference-mode pattern: the static default
+    // (seeded from OCCLUM_VM_SUPERBLOCK, on unless set to "0")
+    // applies at construction. Runs outside the Superblock fixture so
+    // the env-derived value is still observable here.
+    const bool saved = Cpu::default_superblock_enabled();
+    const char *env = std::getenv("OCCLUM_VM_SUPERBLOCK");
+    const bool env_on = env == nullptr || env[0] == '\0' || env[0] != '0';
+    EXPECT_EQ(saved, env_on);
+    Cpu::set_default_superblock_enabled(false);
+    {
+        AddressSpace space;
+        Cpu cpu(space);
+        EXPECT_FALSE(cpu.superblock_enabled());
+    }
+    Cpu::set_default_superblock_enabled(true);
+    {
+        AddressSpace space;
+        Cpu cpu(space);
+        EXPECT_TRUE(cpu.superblock_enabled());
+    }
+    Cpu::set_default_superblock_enabled(saved);
+}
+
+TEST_F(Superblock, BudgetSlicesNeverOvershootAndMatchOneShot)
+{
+    // AEX/quantum slicing: running the same hot program in budget
+    // slices of 7 must consume exactly min(7, remaining) instructions
+    // per slice and land on bit-identical final state.
+    auto program = [](isa::Assembler &a) {
+        a.mov_ri(1, 0);
+        a.mov_ri(2, 100);
+        a.bind("loop");
+        a.add_ri(1, 3);
+        a.store(mem_abs(kData), 1);
+        a.load(3, mem_abs(kData));
+        a.sub_ri(2, 1);
+        a.cmp_ri(2, 0);
+        a.jcc(Cond::kNe, "loop");
+        a.ltrap();
+    };
+    VmHarness sliced;
+    VmHarness oneshot;
+    isa::Assembler a1(kCode);
+    program(a1);
+    CpuExit exit = sliced.run(a1, 7);
+    while (exit.kind == ExitKind::kInstrBudget) {
+        uint64_t before = sliced.cpu.instructions();
+        exit = sliced.cpu.run(7);
+        uint64_t used = sliced.cpu.instructions() - before;
+        ASSERT_GE(used, 1u);
+        ASSERT_LE(used, 7u);
+    }
+    EXPECT_EQ(exit.kind, ExitKind::kLtrap);
+
+    isa::Assembler a2(kCode);
+    program(a2);
+    EXPECT_EQ(oneshot.run(a2).kind, ExitKind::kLtrap);
+
+    EXPECT_EQ(sliced.cpu.cycles(), oneshot.cpu.cycles());
+    EXPECT_EQ(sliced.cpu.instructions(), oneshot.cpu.instructions());
+    EXPECT_EQ(sliced.cpu.rip(), oneshot.cpu.rip());
+    for (int r = 0; r < isa::kNumRegs; ++r) {
+        EXPECT_EQ(sliced.cpu.reg(r), oneshot.cpu.reg(r)) << "reg " << r;
+    }
+}
+
+TEST_F(Superblock, GuardFoldingPreservesStateAndCycles)
+{
+    // Two identical mem_guard pairs per iteration: the translator
+    // fuses the first bndcl+bndcu pair and elides the duplicate pair
+    // outright. Simulated time must not move by a single cycle.
+    auto program = [](isa::Assembler &a) {
+        a.mov_ri(2, 100);
+        a.mov_ri(3, static_cast<int64_t>(kData));
+        a.bind("loop");
+        a.mem_guard(mem_bd(3, 0));
+        a.load(4, mem_bd(3, 0));
+        a.mem_guard(mem_bd(3, 0)); // exact duplicate -> folded
+        a.add_ri(4, 1);
+        a.store(mem_bd(3, 0), 4);
+        a.sub_ri(2, 1);
+        a.cmp_ri(2, 0);
+        a.jcc(Cond::kNe, "loop");
+        a.ltrap();
+    };
+    VmHarness on;
+    VmHarness off;
+    off.cpu.set_superblock_enabled(false);
+
+    isa::Assembler a1(kCode);
+    program(a1);
+    CpuExit e1 = on.run(a1);
+    isa::Assembler a2(kCode);
+    program(a2);
+    CpuExit e2 = off.run(a2);
+
+    EXPECT_EQ(e1.kind, ExitKind::kLtrap);
+    EXPECT_EQ(e2.kind, ExitKind::kLtrap);
+    EXPECT_EQ(on.cpu.reg(4), 100u);
+    EXPECT_EQ(on.cpu.cycles(), off.cpu.cycles());
+    EXPECT_EQ(on.cpu.instructions(), off.cpu.instructions());
+    // Fused pair + two elided duplicates per promotion.
+    EXPECT_GE(on.cpu.superblock_guards_folded(), 3u);
+    EXPECT_EQ(off.cpu.superblock_guards_folded(), 0u);
+}
+
+TEST_F(Superblock, FusedGuardFaultPointsAreExact)
+{
+    // A pointer walks forward under a mem_guard until it crosses the
+    // upper bound — well after promotion, so the #BR is raised from
+    // inside the fused bndcl+bndcu uop. Fault rip, fault address,
+    // cycles, and instruction count must match tier 1 exactly (the
+    // upper fault charges both halves; rip is the bndcu).
+    auto forward = [](isa::Assembler &a) {
+        a.mov_ri(2, 100);
+        a.mov_ri(3, static_cast<int64_t>(kData));
+        a.bind("loop");
+        a.mem_guard(mem_bd(3, 0));
+        a.load8(4, mem_bd(3, 0));
+        a.add_ri(3, 8);
+        a.sub_ri(2, 1);
+        a.cmp_ri(2, 0);
+        a.jcc(Cond::kNe, "loop");
+        a.ltrap();
+    };
+    auto run_pair = [](auto &program, BoundReg bnd) {
+        VmHarness on;
+        VmHarness off;
+        off.cpu.set_superblock_enabled(false);
+        on.cpu.set_bnd(isa::kBndData, bnd);
+        off.cpu.set_bnd(isa::kBndData, bnd);
+        isa::Assembler a1(kCode);
+        program(a1);
+        CpuExit e1 = on.run(a1);
+        isa::Assembler a2(kCode);
+        program(a2);
+        CpuExit e2 = off.run(a2);
+        EXPECT_EQ(e1.kind, ExitKind::kFault);
+        EXPECT_EQ(e1.fault, FaultKind::kBoundRange);
+        EXPECT_EQ(e1.kind, e2.kind);
+        EXPECT_EQ(e1.fault, e2.fault);
+        EXPECT_EQ(e1.rip, e2.rip);
+        EXPECT_EQ(e1.fault_addr, e2.fault_addr);
+        EXPECT_EQ(on.cpu.cycles(), off.cpu.cycles());
+        EXPECT_EQ(on.cpu.instructions(), off.cpu.instructions());
+        EXPECT_EQ(on.cpu.rip(), off.cpu.rip());
+        EXPECT_GE(on.cpu.superblock_promotions(), 1u);
+    };
+    // Upper-bound fault at iteration 51 (addr kData+408 > hi).
+    run_pair(forward, BoundReg{0, kData + 50 * 8});
+
+    // Lower-bound fault: walk down through lo at iteration ~51. The
+    // #BR comes from the bndcl half, which charges only its own cost.
+    auto backward = [](isa::Assembler &a) {
+        a.mov_ri(2, 100);
+        a.mov_ri(3, static_cast<int64_t>(kData + 800));
+        a.bind("loop");
+        a.mem_guard(mem_bd(3, 0));
+        a.load8(4, mem_bd(3, 0));
+        a.add_ri(3, -8);
+        a.sub_ri(2, 1);
+        a.cmp_ri(2, 0);
+        a.jcc(Cond::kNe, "loop");
+        a.ltrap();
+    };
+    run_pair(backward, BoundReg{kData + 400, ~0ull});
+}
+
+TEST_F(Superblock, LoadAluFusionFaultPointsAreExact)
+{
+    // A load feeding a lone ALU op (the kLoadAlu fusion, with the ALU
+    // destination different from the loaded register) walks a pointer
+    // off the end of the mapped data page — well past promotion, so
+    // the page fault is raised from inside the fused uop. Fault rip,
+    // fault address, cycles, and state must match tier 1 exactly (the
+    // fault charges the load alone; the appended ALU never ran).
+    auto program = [](isa::Assembler &a) {
+        a.mov_ri(2, 1000);
+        a.mov_ri(3, static_cast<int64_t>(kData));
+        a.mov_ri(5, 0);
+        a.bind("loop");
+        a.load8(4, mem_bd(3, 0)); // fuses with the add_rr below
+        a.add_rr(5, 4);
+        a.store(mem_abs(kData), 5); // keeps the ALU out of a pack
+        a.add_ri(3, 8);
+        a.sub_ri(2, 1);
+        a.cmp_ri(2, 0);
+        a.jcc(Cond::kNe, "loop");
+        a.ltrap();
+    };
+    VmHarness on;
+    VmHarness off;
+    off.cpu.set_superblock_enabled(false);
+    isa::Assembler a1(kCode);
+    program(a1);
+    CpuExit e1 = on.run(a1);
+    isa::Assembler a2(kCode);
+    program(a2);
+    CpuExit e2 = off.run(a2);
+    // The data page is 0x1000 bytes: iteration 513 reads kData+0x1000.
+    EXPECT_EQ(e1.kind, ExitKind::kFault);
+    EXPECT_EQ(e1.fault, FaultKind::kPageFault);
+    EXPECT_EQ(e1.fault_addr, kData + 0x1000);
+    EXPECT_EQ(e1.kind, e2.kind);
+    EXPECT_EQ(e1.fault, e2.fault);
+    EXPECT_EQ(e1.rip, e2.rip);
+    EXPECT_EQ(e1.fault_addr, e2.fault_addr);
+    EXPECT_EQ(on.cpu.cycles(), off.cpu.cycles());
+    EXPECT_EQ(on.cpu.instructions(), off.cpu.instructions());
+    EXPECT_EQ(on.cpu.rip(), off.cpu.rip());
+    for (int r = 0; r < isa::kNumRegs; ++r) {
+        EXPECT_EQ(on.cpu.reg(r), off.cpu.reg(r)) << "reg " << r;
+    }
+    EXPECT_GE(on.cpu.superblock_promotions(), 1u);
+}
+
+TEST_F(Superblock, StitchedCallRetTracesAreExact)
+{
+    // The hot loop calls a leaf function; the trace stitches through
+    // the call and the guarded return. 100 round trips well past the
+    // threshold must be bit-identical to tier 1.
+    auto program = [](isa::Assembler &a) {
+        a.mov_ri(1, 0);
+        a.mov_ri(2, 100);
+        a.bind("loop");
+        a.call("fn");
+        a.sub_ri(2, 1);
+        a.cmp_ri(2, 0);
+        a.jcc(Cond::kNe, "loop");
+        a.ltrap();
+        a.bind("fn");
+        a.add_ri(1, 3);
+        a.ret();
+    };
+    VmHarness on;
+    VmHarness off;
+    off.cpu.set_superblock_enabled(false);
+
+    isa::Assembler a1(kCode);
+    program(a1);
+    CpuExit e1 = on.run(a1);
+    isa::Assembler a2(kCode);
+    program(a2);
+    CpuExit e2 = off.run(a2);
+
+    EXPECT_EQ(e1.kind, ExitKind::kLtrap);
+    EXPECT_EQ(e2.kind, ExitKind::kLtrap);
+    EXPECT_EQ(on.cpu.reg(1), 300u);
+    EXPECT_EQ(on.cpu.cycles(), off.cpu.cycles());
+    EXPECT_EQ(on.cpu.instructions(), off.cpu.instructions());
+    EXPECT_EQ(on.cpu.sp(), off.cpu.sp());
+    EXPECT_GE(on.cpu.superblock_promotions(), 1u);
+    EXPECT_GE(on.cpu.superblock_exec_hits(), 1u);
+}
+
+TEST_F(Superblock, OverlappingDecodesPromoteIndependently)
+{
+    // The two-entry-point scenario, hot enough that *both* views get
+    // promoted. Traces are keyed by entry rip like blocks, so the
+    // mov-view and the nop-view never clobber each other.
+    VmHarness h;
+    isa::Assembler a(kCode);
+    a.mov_ri(1, 0); // bytes 2..9 decode as eight nops when entered at +2
+    a.ltrap();
+    Bytes code = a.finish();
+    ASSERT_EQ(h.space.write_raw(kCode, code.data(), code.size()),
+              AccessFault::kNone);
+
+    auto run_from = [&](uint64_t rip) {
+        uint64_t before = h.cpu.instructions();
+        h.cpu.set_rip(rip);
+        EXPECT_EQ(h.cpu.run(100).kind, ExitKind::kLtrap);
+        return h.cpu.instructions() - before;
+    };
+    for (int i = 0; i < 50; ++i) {
+        ASSERT_EQ(run_from(kCode), 2u) << "iteration " << i;
+        ASSERT_EQ(run_from(kCode + 2), 9u) << "iteration " << i;
+    }
+    EXPECT_GE(h.cpu.superblock_promotions(), 2u);
+    EXPECT_GE(h.cpu.superblock_count(), 2u);
+    EXPECT_EQ(h.cpu.superblock_invalidations(), 0u);
 }
 
 } // namespace
