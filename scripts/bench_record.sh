@@ -32,6 +32,7 @@ BENCHES=(
     bench_fig7b_breakdown
     bench_ablation_optimizations
     bench_attested_rpc
+    bench_smp
 )
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release

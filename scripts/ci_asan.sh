@@ -28,3 +28,12 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 # check charges, trace linking — are exactly the out-of-bounds /
 # aliasing class sanitizers catch).
 OCCLUM_VM_SUPERBLOCK=1 "$BUILD_DIR/tests/vm_test"
+
+# Extra leg: the SMP scheduler under the sanitizers. OCCLUM_CORES=4
+# reruns every OcclumSystem scenario over per-core run queues, and
+# the targeted batteries exercise stealing, cross-core wakeups, and
+# the dup2/epoll fd-lifecycle paths (the roster use-after-free class
+# only ASan can see).
+OCCLUM_CORES=4 "$BUILD_DIR/tests/libos_test"
+OCCLUM_CORES=4 "$BUILD_DIR/tests/epoll_test"
+"$BUILD_DIR/tests/oskit_test" --gtest_filter='Smp.*:Regression.*:Timers.*'

@@ -26,6 +26,16 @@ class SimClock
 
     void advance(uint64_t cycles) { cycles_ += cycles; }
 
+    /**
+     * Jump to an absolute cycle count, backwards included. Only the
+     * SMP scheduler's round barrier may rewind: each simulated core
+     * replays its share of a round from the same start time, and the
+     * clock is then set to the slowest core's end time, so cores run
+     * in parallel in simulated time while the host executes them
+     * sequentially and deterministically.
+     */
+    void set_cycles(uint64_t cycles) { cycles_ = cycles; }
+
     void reset() { cycles_ = 0; }
 
     double seconds() const { return cycles_ / kFrequencyHz; }

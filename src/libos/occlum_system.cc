@@ -1,5 +1,7 @@
 #include "libos/occlum_system.h"
 
+#include <cstdlib>
+
 #include "base/log.h"
 #include "faultsim/faultsim.h"
 #include "isa/isa.h"
@@ -138,6 +140,17 @@ OcclumSystem::OcclumSystem(sgx::Platform &platform,
     : Kernel(platform.clock(), binaries, net), platform_(&platform),
       config_(config)
 {
+    // Core topology first (it must precede the first spawn): the
+    // config pins it explicitly, else OCCLUM_CORES selects it, else
+    // the classic single-walk scheduler.
+    int cores = config_.cores;
+    if (cores <= 0) {
+        const char *env = std::getenv("OCCLUM_CORES");
+        cores = env != nullptr ? std::atoi(env) : 1;
+    }
+    set_cores(cores);
+    core_threads_.resize(static_cast<size_t>(this->cores()));
+
     // One enclave for the whole system (paper Fig. 1a).
     uint64_t span = slot_span();
     uint64_t enclave_size = span * config_.num_slots;
@@ -409,17 +422,24 @@ OcclumSystem::on_injected_aex(oskit::Process &proc)
 {
     OCC_TRACE_SPAN(kSgx, "sgx.injected_aex",
                    static_cast<uint64_t>(proc.pid));
-    // Bind a transient TCS to the interrupted SIP's CPU: try_aex()
+    // Bind the interrupted core's TCS to the SIP's CPU: try_aex()
     // snapshots the state into the SSA and clobbers the live
     // registers (as the hardware scrubs them on an exit), resume()
     // restores the snapshot. If the SSA round trip dropped anything —
     // a bound register, flags — the SIP resumes corrupted and the
-    // AEX-storm transparency tests catch it.
-    sgx::SgxThread thread(*enclave_, *proc.cpu);
-    if (!thread.try_aex()) {
+    // AEX-storm transparency tests catch it. One TCS (one SSA frame)
+    // exists per simulated core; an AEX storm hits each core's
+    // stream independently.
+    auto &thread = core_threads_[static_cast<size_t>(current_core())];
+    if (!thread) {
+        thread = std::make_unique<sgx::SgxThread>(*enclave_, *proc.cpu);
+    } else {
+        thread->bind(*proc.cpu);
+    }
+    if (!thread->try_aex()) {
         return; // already in an AEX (NSSA=1) — cannot nest
     }
-    thread.resume();
+    thread->resume();
     faultsim::FaultSim::instance().count_injected_aex();
 }
 

@@ -113,6 +113,12 @@ class OcclumSystem : public oskit::Kernel
         host::BlockDevice *external_device = nullptr;
         /** mkfs the device (true) or mount what is on it (false). */
         bool format_device = true;
+        /**
+         * Simulated cores (TCS threads the scheduler dispatches on).
+         * 0 = take OCCLUM_CORES from the environment (default 1).
+         * Tests that assert exact interleavings pin this to 1.
+         */
+        int cores = 0;
     };
 
     OcclumSystem(sgx::Platform &platform, host::HostFileStore &binaries,
@@ -195,6 +201,13 @@ class OcclumSystem : public oskit::Kernel
     Status fs_status_;
     std::vector<Slot> slots_;
     uint32_t next_domain_id_ = 1;
+    /**
+     * One TCS (one SSA frame, NSSA=1) per simulated core, rebound to
+     * the interrupted SIP's CPU when an injected AEX lands on that
+     * core — the paper's deployment shape: many SIPs scheduled over a
+     * fixed pool of enclave threads.
+     */
+    std::vector<std::unique_ptr<sgx::SgxThread>> core_threads_;
 };
 
 } // namespace occlum::libos

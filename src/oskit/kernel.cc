@@ -19,6 +19,40 @@ neg_errno(ErrorCode code)
     return -static_cast<int64_t>(code);
 }
 
+/**
+ * A descriptor leaving the fd table must also leave the epoll world:
+ * a non-epoll fd is auto-removed from every interest list (Linux
+ * semantics — a dead descriptor must not keep producing events), and
+ * dropping the last descriptor of an epoll object removes it from
+ * the process's epoll roster (a stale roster entry dangles once the
+ * shared_ptr destroys the object). Shared by kClose and kDup2 —
+ * dup2's implicit close used to skip both steps, so a watched fd
+ * replaced by dup2 kept reporting events for the old file, and
+ * dup2 over the last fd of an epoll left a freed pointer behind.
+ */
+void
+epoll_fd_dropped(Process &proc, int fd, const FilePtr &file)
+{
+    if (auto *ep = dynamic_cast<EpollObject *>(file.get())) {
+        bool still_open = false;
+        for (const auto &[ofd, f] : proc.fds) {
+            if (f.get() == ep) {
+                still_open = true;
+                break;
+            }
+        }
+        if (!still_open) {
+            auto &eps = proc.epolls;
+            eps.erase(std::remove(eps.begin(), eps.end(), ep),
+                      eps.end());
+        }
+    } else {
+        for (EpollObject *ep : proc.epolls) {
+            ep->forget_fd(fd);
+        }
+    }
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -178,13 +212,15 @@ Kernel::spawn(const std::string &path, const std::vector<std::string> &argv,
     }
 
     int pid = proc->pid;
+    // Fixed home-core rule: pid % cores, for the process's lifetime.
+    proc->home_core = pid % num_cores_;
     // Expose the pid through the PCB if the personality mapped one.
     if (proc->d_begin != 0) {
         uint64_t pid64 = static_cast<uint64_t>(pid);
         proc->space->write_raw(proc->d_begin + abi::kPcbPid, &pid64, 8);
     }
+    run_queues_[proc->home_core].insert(pid);
     procs_.emplace(pid, std::move(proc));
-    run_queue_.insert(pid);
     ++stats_.spawns;
     ctr_spawns_->add();
     OCC_TRACE_INSTANT(kSched, "proc.spawn",
@@ -203,9 +239,12 @@ Kernel::kill_process(Process &proc, DeathCause cause, int64_t code)
     proc.death = cause;
     proc.exit_code = code;
     detach_waits(proc);
+    if (proc.wake_time != ~0ull && !proc.wake_pending) {
+        ++timer_dead_; // the armed heap entry just went stale
+    }
     proc.wake_pending = false;
     proc.wake_time = ~0ull; // invalidates any armed timers
-    run_queue_.erase(proc.pid);
+    home_queue(proc).erase(proc.pid);
     // Release fds so pipe peers see EOF / EPIPE (the release hooks
     // wake any peers blocked on the other end).
     for (auto &[fd, file] : proc.fds) {
@@ -233,6 +272,7 @@ Kernel::kill_process(Process &proc, DeathCause cause, int64_t code)
     }
     OCC_TRACE_INSTANT(kSched, "proc.death",
                       static_cast<uint64_t>(proc.pid));
+    death_order_.push_back(proc.pid);
     destroy_process(proc);
     any_progress_ = true;
 }
@@ -285,18 +325,73 @@ Kernel::next_wake_time() const
     // every blocked process. An entry is live iff its pid is still
     // blocked, not already wake-pending, and its wake_time matches.
     while (!timers_.empty()) {
-        auto [when, pid] = timers_.top();
-        auto it = procs_.find(pid);
-        if (it != procs_.end()) {
-            const Process &proc = *it->second;
-            if (proc.state == ProcState::kBlocked &&
-                !proc.wake_pending && proc.wake_time == when) {
-                return when;
-            }
+        auto [when, pid] = timers_.front();
+        if (timer_entry_live(when, pid)) {
+            return when;
         }
-        timers_.pop();
+        timer_pop();
     }
     return ~0ull;
+}
+
+// ---------------------------------------------------------------------
+// timer heap
+// ---------------------------------------------------------------------
+
+bool
+Kernel::timer_entry_live(uint64_t when, int pid) const
+{
+    auto it = procs_.find(pid);
+    if (it == procs_.end()) {
+        return false;
+    }
+    const Process &proc = *it->second;
+    return proc.state == ProcState::kBlocked && !proc.wake_pending &&
+           proc.wake_time == when;
+}
+
+void
+Kernel::timer_push(uint64_t when, int pid) const
+{
+    timers_.emplace_back(when, pid);
+    std::push_heap(timers_.begin(), timers_.end(), std::greater<>());
+}
+
+void
+Kernel::timer_pop() const
+{
+    // Popping the top only ever removes a stale entry here or a
+    // just-consumed one in fire_due_timers; either way the entry no
+    // longer counts toward the dead backlog.
+    if (!timer_entry_live(timers_.front().first,
+                          timers_.front().second) &&
+        timer_dead_ > 0) {
+        --timer_dead_;
+    }
+    std::pop_heap(timers_.begin(), timers_.end(), std::greater<>());
+    timers_.pop_back();
+}
+
+void
+Kernel::compact_timers_if_worthwhile() const
+{
+    // Opportunistic compaction: once stale entries are both numerous
+    // and the majority, rebuild the heap from the live ones. Without
+    // this, a timeout re-armed and cancelled in a loop (poll with a
+    // far deadline, woken early by data, every iteration) leaks one
+    // far-future entry per iteration: it never reaches the top, so
+    // lazy pruning never sees it. Compaction only drops entries the
+    // liveness predicate already ignores, so wake order, cycle
+    // streams, and BENCH output are untouched.
+    constexpr size_t kMinDead = 64;
+    if (timer_dead_ < kMinDead || timer_dead_ * 2 < timers_.size()) {
+        return;
+    }
+    std::erase_if(timers_, [this](const std::pair<uint64_t, int> &e) {
+        return !timer_entry_live(e.first, e.second);
+    });
+    std::make_heap(timers_.begin(), timers_.end(), std::greater<>());
+    timer_dead_ = 0;
 }
 
 // ---------------------------------------------------------------------
@@ -387,9 +482,17 @@ Kernel::mark_wake_pending(Process &proc)
     proc.wake_pending = true;
     // Invalidate any armed timers (the heap's lazy deletion keys off
     // wake_time matching the entry).
+    if (proc.wake_time != ~0ull) {
+        ++timer_dead_;
+    }
     proc.wake_time = ~0ull;
-    run_queue_.insert(proc.pid);
+    // The woken pid lands on its home core's queue — wakeups cross
+    // cores with no routing decision because membership is by home.
+    home_queue(proc).insert(proc.pid);
     ctr_wakeups_->add();
+    if (num_cores_ > 1) {
+        core_ctrs_[proc.home_core].wakeups->add();
+    }
     OCC_TRACE_INSTANT(kSched, "sched.wake",
                       static_cast<uint64_t>(proc.pid));
 }
@@ -406,8 +509,12 @@ Kernel::arm_timer(Process &proc, uint64_t when)
     if (when >= proc.wake_time) {
         return; // no timer, or an earlier one is already armed
     }
+    if (proc.wake_time != ~0ull) {
+        ++timer_dead_; // the superseded entry just went stale
+    }
     proc.wake_time = when;
-    timers_.emplace(when, proc.pid);
+    timer_push(when, proc.pid);
+    compact_timers_if_worthwhile();
 }
 
 void
@@ -451,16 +558,16 @@ void
 Kernel::fire_due_timers()
 {
     uint64_t now = clock_->cycles();
-    while (!timers_.empty() && timers_.top().first <= now) {
-        auto [when, pid] = timers_.top();
-        timers_.pop();
-        auto it = procs_.find(pid);
-        if (it == procs_.end()) {
-            continue;
-        }
-        Process &proc = *it->second;
-        if (proc.state == ProcState::kBlocked && !proc.wake_pending &&
-            proc.wake_time == when) {
+    while (!timers_.empty() && timers_.front().first <= now) {
+        auto [when, pid] = timers_.front();
+        bool live = timer_entry_live(when, pid);
+        timer_pop();
+        if (live) {
+            // The entry is consumed with the pop, so clear wake_time
+            // first — mark_wake_pending would otherwise count it as
+            // a stale entry still sitting in the heap.
+            Process &proc = *procs_.find(pid)->second;
+            proc.wake_time = ~0ull;
             mark_wake_pending(proc);
         }
     }
@@ -480,7 +587,7 @@ Kernel::block_on(Process &proc, uint64_t wake,
     arm_timer(proc, wake);
     // Off the scheduling walk until an explicit wakeup: this is the
     // whole point — an idle connection costs zero dispatches.
-    run_queue_.erase(proc.pid);
+    home_queue(proc).erase(proc.pid);
     return std::nullopt;
 }
 
@@ -500,22 +607,25 @@ Kernel::run_user_quantum(Process &proc)
     // AEX storm armed: slice the quantum at injected-AEX boundaries.
     // The interpreter charges per instruction, so the slicing itself
     // is invisible in the cycle stream — only on_injected_aex() (SSA
-    // save/restore + AEX/ERESUME transition costs) adds cycles.
-    if (aex_countdown_ == 0) {
-        aex_countdown_ = period;
+    // save/restore + AEX/ERESUME transition costs) adds cycles. Each
+    // core keeps its own countdown: an AEX interrupts one hardware
+    // thread, not the whole package.
+    uint64_t &countdown = aex_countdown_[current_core_];
+    if (countdown == 0) {
+        countdown = period;
     }
     uint64_t budget = quantum_;
     vm::CpuExit exit;
     for (;;) {
-        uint64_t slice = std::min(budget, aex_countdown_);
+        uint64_t slice = std::min(budget, countdown);
         uint64_t before = proc.cpu->instructions();
         exit = proc.cpu->run(slice);
         uint64_t ran = proc.cpu->instructions() - before;
         budget -= std::min(budget, ran);
-        aex_countdown_ -= std::min(aex_countdown_, ran);
-        if (aex_countdown_ == 0) {
+        countdown -= std::min(countdown, ran);
+        if (countdown == 0) {
             on_injected_aex(proc);
-            aex_countdown_ = period;
+            countdown = period;
             if (proc.state == ProcState::kDead) {
                 return exit;
             }
@@ -526,8 +636,92 @@ Kernel::run_user_quantum(Process &proc)
     }
 }
 
+void
+Kernel::run_one_quantum(Process &proc)
+{
+    ctr_sched_visits_->add();
+    // Runnable: execute a quantum. The span covers the charge so
+    // its duration equals the cycles the SIP's code consumed.
+    uint64_t before_cycles = proc.cpu->cycles();
+    uint64_t before_instrs = proc.cpu->instructions();
+    vm::CpuExit exit;
+    {
+        OCC_TRACE_SPAN(kVm, "cpu.quantum",
+                       static_cast<uint64_t>(proc.pid));
+        exit = run_user_quantum(proc);
+        charge(proc.cpu->cycles() - before_cycles);
+    }
+    stats_.user_instructions +=
+        proc.cpu->instructions() - before_instrs;
+    if (proc.cpu->instructions() != before_instrs) {
+        any_progress_ = true;
+    }
+
+    switch (exit.kind) {
+      case vm::ExitKind::kInstrBudget:
+        break;
+      case vm::ExitKind::kLtrap: {
+        // Pop the return address pushed by the user's call into
+        // the trampoline and validate it (paper §6).
+        uint64_t ret = 0;
+        uint64_t sp = proc.cpu->sp();
+        if (proc.space->read_raw(sp, &ret, 8) !=
+            vm::AccessFault::kNone) {
+            proc.last_fault = vm::FaultKind::kPageFault;
+            proc.last_fault_addr = sp;
+            kill_process(proc, DeathCause::kFault, -1);
+            break;
+        }
+        proc.cpu->set_sp(sp + 8);
+        Status valid = validate_syscall_return(proc, ret);
+        if (!valid.ok()) {
+            proc.last_fault = vm::FaultKind::kBoundRange;
+            proc.last_fault_addr = ret;
+            kill_process(proc, DeathCause::kFault, -1);
+            break;
+        }
+        proc.in_syscall = true;
+        proc.sys_num = proc.cpu->reg(0);
+        for (int i = 0; i < abi::kSyscallArgs; ++i) {
+            proc.sys_args[i] = proc.cpu->reg(1 + i);
+        }
+        proc.sys_ret_addr = ret;
+        proc.sys_deadline = ~0ull; // computed by timed syscalls
+        ++stats_.syscalls;
+        ctr_syscalls_->add();
+        uint64_t sys_begin = clock_->cycles();
+        {
+            OCC_TRACE_SPAN(kLibos, abi::sys_name(proc.sys_num),
+                           static_cast<uint64_t>(proc.pid));
+            charge(syscall_cost());
+            handle_syscall(proc);
+        }
+        // Cycles of the initial dispatch round (blocked retries
+        // are traced but not re-recorded here).
+        hist_syscall_cycles_->record(clock_->cycles() - sys_begin);
+        break;
+      }
+      case vm::ExitKind::kPrivileged:
+        proc.last_fault = vm::FaultKind::kInvalidInstr;
+        proc.last_fault_addr = exit.rip;
+        kill_process(proc, DeathCause::kPrivileged, -2);
+        break;
+      case vm::ExitKind::kFault:
+        proc.last_fault = exit.fault;
+        proc.last_fault_addr = exit.fault_addr;
+        kill_process(proc, DeathCause::kFault, -1);
+        break;
+    }
+}
+
 bool
 Kernel::step_round()
+{
+    return num_cores_ == 1 ? step_round_uni() : step_round_smp();
+}
+
+bool
+Kernel::step_round_uni()
 {
     OCC_TRACE_SPAN(kSched, "sched.round");
     any_progress_ = false;
@@ -538,7 +732,11 @@ Kernel::step_round()
     // succeeded (failed retries charged zero cycles), so the
     // simulated cycle stream is unchanged. Processes spawned during
     // the round first run next round, as they did when the walk
-    // iterated a pid snapshot taken at round start.
+    // iterated a pid snapshot taken at round start. (Spawns cannot
+    // land *below* the resume cursor: pids are strictly monotonic,
+    // so every new pid is above last_existing_pid — the SMP walk
+    // keeps the same rule via its round-start snapshot.)
+    std::set<int> &run_queue_ = run_queues_[0];
     const int last_existing_pid = next_pid_ - 1;
     int last = 0; // pids start at 1
     for (;;) {
@@ -580,84 +778,222 @@ Kernel::step_round()
             fire_due_timers();
             continue;
         }
-        ctr_sched_visits_->add();
-        // Runnable: execute a quantum. The span covers the charge so
-        // its duration equals the cycles the SIP's code consumed.
-        uint64_t before_cycles = proc.cpu->cycles();
-        uint64_t before_instrs = proc.cpu->instructions();
-        vm::CpuExit exit;
-        {
-            OCC_TRACE_SPAN(kVm, "cpu.quantum",
-                           static_cast<uint64_t>(pid));
-            exit = run_user_quantum(proc);
-            charge(proc.cpu->cycles() - before_cycles);
-        }
-        stats_.user_instructions +=
-            proc.cpu->instructions() - before_instrs;
-        if (proc.cpu->instructions() != before_instrs) {
-            any_progress_ = true;
-        }
-
-        switch (exit.kind) {
-          case vm::ExitKind::kInstrBudget:
-            break;
-          case vm::ExitKind::kLtrap: {
-            // Pop the return address pushed by the user's call into
-            // the trampoline and validate it (paper §6).
-            uint64_t ret = 0;
-            uint64_t sp = proc.cpu->sp();
-            if (proc.space->read_raw(sp, &ret, 8) !=
-                vm::AccessFault::kNone) {
-                proc.last_fault = vm::FaultKind::kPageFault;
-                proc.last_fault_addr = sp;
-                kill_process(proc, DeathCause::kFault, -1);
-                break;
-            }
-            proc.cpu->set_sp(sp + 8);
-            Status valid = validate_syscall_return(proc, ret);
-            if (!valid.ok()) {
-                proc.last_fault = vm::FaultKind::kBoundRange;
-                proc.last_fault_addr = ret;
-                kill_process(proc, DeathCause::kFault, -1);
-                break;
-            }
-            proc.in_syscall = true;
-            proc.sys_num = proc.cpu->reg(0);
-            for (int i = 0; i < abi::kSyscallArgs; ++i) {
-                proc.sys_args[i] = proc.cpu->reg(1 + i);
-            }
-            proc.sys_ret_addr = ret;
-            proc.sys_deadline = ~0ull; // computed by timed syscalls
-            ++stats_.syscalls;
-            ctr_syscalls_->add();
-            uint64_t sys_begin = clock_->cycles();
-            {
-                OCC_TRACE_SPAN(kLibos, abi::sys_name(proc.sys_num),
-                               static_cast<uint64_t>(pid));
-                charge(syscall_cost());
-                handle_syscall(proc);
-            }
-            // Cycles of the initial dispatch round (blocked retries
-            // are traced but not re-recorded here).
-            hist_syscall_cycles_->record(clock_->cycles() - sys_begin);
-            break;
-          }
-          case vm::ExitKind::kPrivileged:
-            proc.last_fault = vm::FaultKind::kInvalidInstr;
-            proc.last_fault_addr = exit.rip;
-            kill_process(proc, DeathCause::kPrivileged, -2);
-            break;
-          case vm::ExitKind::kFault:
-            proc.last_fault = exit.fault;
-            proc.last_fault_addr = exit.fault_addr;
-            kill_process(proc, DeathCause::kFault, -1);
-            break;
-        }
+        run_one_quantum(proc);
         // Quanta advance the clock; timers that came due mid-round
         // wake their processes before the walk reaches their pid, the
         // same slot the old per-round retry would have succeeded at.
         fire_due_timers();
     }
+    return any_progress_;
+}
+
+// ---------------------------------------------------------------------
+// SMP scheduling (cores > 1)
+// ---------------------------------------------------------------------
+
+void
+Kernel::set_cores(int cores)
+{
+    cores = std::max(1, std::min(cores, 64));
+    if (cores == num_cores_) {
+        return;
+    }
+    // Home cores are fixed at spawn; changing the modulus after any
+    // spawn would strand pids on queues that no longer exist (or
+    // violate the home-core invariant), so the topology is only
+    // configurable on an empty process table.
+    OCC_CHECK_MSG(procs_.empty() && next_pid_ == 1,
+                  "set_cores must run before the first spawn");
+    num_cores_ = cores;
+    run_queues_.assign(static_cast<size_t>(cores), {});
+    core_rotor_.assign(static_cast<size_t>(cores), 0);
+    aex_countdown_.assign(static_cast<size_t>(cores), 0);
+    core_ctrs_.clear();
+    if (cores > 1) {
+        // Per-core metrics exist only in SMP mode, so a cores=1 run
+        // registers exactly the counters it always has (benches that
+        // dump the registry stay bit-identical).
+        for (int c = 0; c < cores; ++c) {
+            std::string prefix = "kernel.core" + std::to_string(c);
+            CoreCounters ctrs;
+            ctrs.quanta = &trace::Registry::instance().counter(
+                prefix + ".quanta");
+            ctrs.steals = &trace::Registry::instance().counter(
+                prefix + ".steals");
+            ctrs.wakeups = &trace::Registry::instance().counter(
+                prefix + ".wakeups");
+            core_ctrs_.push_back(ctrs);
+        }
+    }
+}
+
+void
+Kernel::smp_drain_wake_pending(int core, int cap)
+{
+    // Snapshot first: a successful retry can wake further pids onto
+    // this queue (they run next round) or kill entries outright.
+    std::vector<int> pending;
+    std::set<int> &queue = run_queues_[core];
+    for (auto it = queue.begin(); it != queue.end() && *it <= cap;) {
+        auto pit = procs_.find(*it);
+        if (pit == procs_.end() ||
+            pit->second->state == ProcState::kDead) {
+            it = queue.erase(it);
+            continue;
+        }
+        if (pit->second->state == ProcState::kBlocked &&
+            pit->second->wake_pending) {
+            pending.push_back(*it);
+        }
+        ++it;
+    }
+    for (int pid : pending) {
+        auto it = procs_.find(pid);
+        if (it == procs_.end()) {
+            run_queues_[core].erase(pid);
+            continue;
+        }
+        Process &proc = *it->second;
+        if (proc.state != ProcState::kBlocked || !proc.wake_pending) {
+            continue; // state changed under an earlier retry
+        }
+        proc.wake_pending = false;
+        ctr_sched_visits_->add();
+        {
+            OCC_TRACE_SPAN(kLibos, abi::sys_name(proc.sys_num),
+                           static_cast<uint64_t>(pid));
+            if (handle_syscall(proc)) {
+                any_progress_ = true;
+            } else {
+                ctr_wasted_retries_->add();
+            }
+        }
+    }
+}
+
+int
+Kernel::smp_pick(int core, int cap, bool &stolen)
+{
+    stolen = false;
+    auto eligible = [&](int pid) -> Process * {
+        auto it = procs_.find(pid);
+        if (it == procs_.end()) {
+            return nullptr;
+        }
+        Process &proc = *it->second;
+        if (proc.state != ProcState::kRunnable ||
+            proc.ran_round == round_seq_) {
+            return nullptr;
+        }
+        return &proc;
+    };
+    // Own queue: next eligible pid above the rotor, wrapping once.
+    std::set<int> &own = run_queues_[core];
+    for (int pass = 0; pass < 2; ++pass) {
+        int from = pass == 0 ? core_rotor_[core] : 0;
+        for (auto it = own.upper_bound(from);
+             it != own.end() && *it <= cap;) {
+            int pid = *it;
+            auto pit = procs_.find(pid);
+            if (pit == procs_.end() ||
+                pit->second->state == ProcState::kDead ||
+                (pit->second->state == ProcState::kBlocked &&
+                 !pit->second->wake_pending)) {
+                // Dead or stale entry: drop it from the walk.
+                it = own.erase(it);
+                continue;
+            }
+            if (eligible(pid)) {
+                core_rotor_[core] = pid;
+                return pid;
+            }
+            ++it;
+        }
+        if (core_rotor_[core] == 0) {
+            break; // the first pass already started at the bottom
+        }
+    }
+    // Idle: deterministic steal. Victim = the most-loaded other core
+    // (eligible pids only; ties to the lowest core index), and only
+    // when it has at least two eligible pids — taking a lone pid
+    // would just migrate work without adding parallelism. The stolen
+    // pid is the victim's lowest eligible (it waited longest at the
+    // bottom of an over-long queue).
+    int victim = -1;
+    int victim_count = 1;
+    for (int other = 0; other < num_cores_; ++other) {
+        if (other == core) {
+            continue;
+        }
+        int count = 0;
+        for (int pid : run_queues_[other]) {
+            if (pid > cap) {
+                break;
+            }
+            if (eligible(pid)) {
+                ++count;
+            }
+        }
+        if (count > victim_count) {
+            victim_count = count;
+            victim = other;
+        }
+    }
+    if (victim < 0) {
+        return -1;
+    }
+    for (int pid : run_queues_[victim]) {
+        if (pid > cap) {
+            break;
+        }
+        if (eligible(pid)) {
+            stolen = true;
+            return pid;
+        }
+    }
+    return -1;
+}
+
+bool
+Kernel::step_round_smp()
+{
+    OCC_TRACE_SPAN(kSched, "sched.round");
+    any_progress_ = false;
+    fire_due_timers();
+    ++round_seq_;
+    // Round barrier: every core replays its share of the round from
+    // the same start time; the clock then advances to the slowest
+    // core's end time. Cores therefore run in parallel in simulated
+    // time while the host executes them sequentially in core order —
+    // completion order is a pure function of (seed, plan, cores).
+    const int cap = next_pid_ - 1; // spawns run next round
+    const uint64_t round_start = clock_->cycles();
+    uint64_t round_end = round_start;
+    for (int core = 0; core < num_cores_; ++core) {
+        current_core_ = core;
+        clock_->set_cycles(round_start);
+        // Phase 1: retry dispatches for woken pids homed here (they
+        // charge syscall work to this core's share of the round).
+        smp_drain_wake_pending(core, cap);
+        // Phase 2: one user quantum — own queue first, else steal.
+        bool stolen = false;
+        int pid = smp_pick(core, cap, stolen);
+        if (pid > 0) {
+            Process &proc = *procs_.find(pid)->second;
+            proc.ran_round = round_seq_;
+            core_ctrs_[core].quanta->add();
+            if (stolen) {
+                core_ctrs_[core].steals->add();
+                OCC_TRACE_INSTANT(kSched, "sched.steal",
+                                  static_cast<uint64_t>(pid));
+            }
+            run_one_quantum(proc);
+        }
+        round_end = std::max(round_end, clock_->cycles());
+    }
+    current_core_ = 0;
+    clock_->set_cycles(round_end);
+    fire_due_timers();
     return any_progress_;
 }
 
@@ -710,9 +1046,12 @@ Kernel::handle_syscall(Process &proc)
     }
     proc.in_syscall = false;
     proc.state = ProcState::kRunnable;
+    if (proc.wake_time != ~0ull) {
+        ++timer_dead_; // completion invalidates any armed entry
+    }
     proc.wake_time = ~0ull;
     proc.sys_deadline = ~0ull;
-    run_queue_.insert(proc.pid);
+    home_queue(proc).insert(proc.pid);
     proc.cpu->set_reg(0, static_cast<uint64_t>(*result));
     proc.cpu->set_rip(proc.sys_ret_addr);
     return true;
@@ -823,29 +1162,7 @@ Kernel::dispatch(Process &proc, uint64_t num,
         file->on_fd_release(*this);
         proc.fds.erase(it);
         proc.fd_closed(fd);
-        if (auto *ep = dynamic_cast<EpollObject *>(file.get())) {
-            // Closing an epoll fd: drop it from the process's epoll
-            // roster unless another descriptor still references it.
-            bool still_open = false;
-            for (const auto &[ofd, f] : proc.fds) {
-                if (f.get() == ep) {
-                    still_open = true;
-                    break;
-                }
-            }
-            if (!still_open) {
-                auto &eps = proc.epolls;
-                eps.erase(std::remove(eps.begin(), eps.end(), ep),
-                          eps.end());
-            }
-        } else {
-            // Auto-removal: a closed fd leaves every epoll interest
-            // list it was registered with (Linux semantics — a dead
-            // descriptor must not keep producing events).
-            for (EpollObject *ep : proc.epolls) {
-                ep->forget_fd(fd);
-            }
-        }
+        epoll_fd_dropped(proc, fd, file);
         return 0;
       }
 
@@ -943,7 +1260,13 @@ Kernel::dispatch(Process &proc, uint64_t num,
         }
         auto old = proc.fds.find(newfd);
         if (old != proc.fds.end()) {
-            old->second->on_fd_release(*this);
+            // Implicit close: full kClose discipline minus the
+            // fd_closed() hint rewind (the slot is reoccupied on the
+            // next line, so everything below the hint stays taken).
+            FilePtr doomed = old->second;
+            doomed->on_fd_release(*this);
+            proc.fds.erase(old);
+            epoll_fd_dropped(proc, newfd, doomed);
         }
         file->on_fd_acquire();
         proc.fds[newfd] = file;

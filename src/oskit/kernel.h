@@ -58,6 +58,19 @@ enum class ProcState {
 /** One process (a SIP under Occlum; a full enclave under EIP). */
 struct Process {
     int pid = 0;
+    /**
+     * Fixed home core (pid % cores, assigned at spawn). Run-queue
+     * membership is always on the home core's queue — work stealing
+     * changes which core *executes* a quantum, never where the pid is
+     * queued, so cross-core wakeups need no routing decision.
+     */
+    int home_core = 0;
+    /**
+     * Round sequence number of the last quantum this process ran
+     * (SMP only). A pid stolen by an earlier core in the round must
+     * not run again when a later core scans its home queue.
+     */
+    uint64_t ran_round = 0;
     ProcState state = ProcState::kRunnable;
     DeathCause death = DeathCause::kNone;
     int64_t exit_code = 0;
@@ -243,6 +256,26 @@ class Kernel
     /** Earliest known wake time over all blocked processes (~0=none). */
     uint64_t next_wake_time() const;
 
+    /**
+     * Configure the number of simulated cores. Must be called before
+     * the first spawn (home cores are assigned at spawn). cores == 1
+     * (the default) runs the exact single-queue walk this kernel has
+     * always had — bit-identical cycle streams; cores > 1 switches to
+     * per-core run queues with deterministic work stealing under a
+     * per-round core barrier (see step_round_smp).
+     */
+    void set_cores(int cores);
+    int cores() const { return num_cores_; }
+    /** Core whose share of the current round is executing. */
+    int current_core() const { return current_core_; }
+
+    /** Pids in death order — the determinism tests' fingerprint. */
+    const std::vector<int> &death_order() const { return death_order_; }
+
+    /** Timer-heap introspection (compaction tests). */
+    size_t timer_entries() const { return timers_.size(); }
+    uint64_t timer_dead_entries() const { return timer_dead_; }
+
     Result<int64_t> exit_code(int pid) const;
     /** Full post-mortem info (cause, fault kind) for a dead pid. */
     Result<DeathRecord> death_record(int pid) const;
@@ -391,6 +424,29 @@ class Kernel
     /** Pop every due timer, waking the processes they refer to. */
     void fire_due_timers();
 
+    /** Timer-heap plumbing (lazy deletion + opportunistic compaction). */
+    void timer_push(uint64_t when, int pid) const;
+    void timer_pop() const;
+    bool timer_entry_live(uint64_t when, int pid) const;
+    void compact_timers_if_worthwhile() const;
+
+    /** The classic single-queue walk (cores == 1, bit-identical). */
+    bool step_round_uni();
+    /** Per-core walks under the round barrier (cores > 1). */
+    bool step_round_smp();
+    /** Retry every wake-pending pid homed on `core` (pids <= cap). */
+    void smp_drain_wake_pending(int core, int cap);
+    /**
+     * Pick the pid core `core` executes this round: the next eligible
+     * pid on its own queue above the rotor (wrapping once), else a
+     * steal — the lowest eligible pid from the most-loaded other
+     * queue (ties: lowest core index), only when the victim has at
+     * least two eligible pids left. Returns -1 when the core idles.
+     */
+    int smp_pick(int core, int cap, bool &stolen);
+    /** One quantum + exit handling for a runnable process. */
+    void run_one_quantum(Process &proc);
+
     /** Point the NetSim's event observers at this kernel. */
     void install_net_events();
 
@@ -414,8 +470,8 @@ class Kernel
     std::map<int, DeathRecord> reaped_;
     int next_pid_ = 1;
     uint64_t quantum_ = 20000;
-    /** Instructions until the next injected AEX (AEX storms). */
-    uint64_t aex_countdown_ = 0;
+    /** Instructions until the next injected AEX, per core (storms). */
+    std::vector<uint64_t> aex_countdown_ = {0};
     std::string console_;
     KernelStats stats_;
     /** Registry-backed metrics (registered in the constructor). */
@@ -434,23 +490,58 @@ class Kernel
     Bytes io_scratch_;
 
     /**
-     * The scheduling walk: runnable pids plus wake-pending blocked
-     * pids, visited in ascending order. Blocked processes leave the
+     * Per-core scheduling walks: runnable pids plus wake-pending
+     * blocked pids, visited in ascending order, one set per core
+     * (exactly one set when cores == 1 — the classic single walk).
+     * Membership is always by home core; blocked processes leave the
      * set, so idle connections cost zero dispatches per round.
      */
-    std::set<int> run_queue_;
+    std::vector<std::set<int>> run_queues_{1};
+
+    /** The home-core queue a pid is (or would be) enqueued on. */
+    std::set<int> &home_queue(const Process &proc)
+    {
+        return run_queues_[proc.home_core];
+    }
+
+    // ---- SMP state (inert at cores == 1) ---------------------------
+    int num_cores_ = 1;
+    int current_core_ = 0;
+    /** Monotonic round counter stamping Process::ran_round. */
+    uint64_t round_seq_ = 0;
+    /**
+     * Per-core walk rotor: the last pid the core ran from its own
+     * queue. The next pick resumes above it (wrapping once), so a
+     * core's SIPs share quanta round-robin instead of the lowest pid
+     * monopolizing the core.
+     */
+    std::vector<int> core_rotor_{0};
+    /** Per-core metrics, registered by set_cores when cores > 1. */
+    struct CoreCounters {
+        trace::Counter *quanta = nullptr;
+        trace::Counter *steals = nullptr;
+        trace::Counter *wakeups = nullptr;
+    };
+    std::vector<CoreCounters> core_ctrs_;
+
+    /** Pids in the order they died (determinism fingerprint). */
+    std::vector<int> death_order_;
 
     /**
      * Min-heap of (wake_time, pid) timed waits, replacing the
      * O(procs) next_wake_time() scan. Lazy deletion: an entry is live
      * iff the pid is still blocked, not wake-pending, and its
      * wake_time equals the entry's (stale entries pop harmlessly).
-     * Mutable so next_wake_time() can prune dead entries.
+     * timer_dead_ counts entries known to be stale; once they
+     * dominate, compact_timers() rebuilds the heap from the live
+     * entries — without it a poll/epoll timeout re-armed and
+     * cancelled in a loop grows the heap without bound (every re-arm
+     * pushes, the cancelled entry is far in the future and never
+     * reaches the top to be pruned). Mutable so next_wake_time() can
+     * prune dead entries.
      */
-    mutable std::priority_queue<std::pair<uint64_t, int>,
-                                std::vector<std::pair<uint64_t, int>>,
-                                std::greater<>>
-        timers_;
+    mutable std::vector<std::pair<uint64_t, int>> timers_;
+    mutable uint64_t timer_dead_ = 0;
 
     /** waitpid(pid) wait queues, keyed by the awaited pid. */
     std::map<int, WaitQueue> pid_waiters_;

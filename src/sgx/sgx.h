@@ -254,6 +254,20 @@ class SgxThread
     Enclave &enclave() { return *enclave_; }
 
     /**
+     * Re-point a bound-CPU TCS at another logical processor's state.
+     * The SMP kernel keeps one TCS (one SSA frame) per simulated
+     * core and rebinds it to whichever SIP's CPU that core is
+     * executing when an AEX lands. Illegal mid-AEX: the SSA frame
+     * holds the interrupted state until ERESUME.
+     */
+    void
+    bind(vm::Cpu &cpu)
+    {
+        OCC_CHECK_MSG(!in_aex_, "rebind with an occupied SSA frame");
+        cpu_ = &cpu;
+    }
+
+    /**
      * Asynchronous enclave exit: snapshot the state into the SSA and
      * clobber the live registers — on real SGX the synthetic state
      * the untrusted host sees is scrubbed, and anything the host

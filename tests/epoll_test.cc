@@ -468,6 +468,48 @@ TEST(EpollWorkload, HttpdEpollServesRequests)
     EXPECT_EQ(code.value(), 6); // served & 0x7f
 }
 
+/** The proxy scenario at `cores`: (death order, final sim cycles). */
+std::pair<std::vector<int>, uint64_t>
+run_proxy_at(int cores)
+{
+    NetHarness h;
+    h.sys.set_cores(cores);
+    h.put_program("proxy_frontend", workloads::proxy_frontend_source());
+    h.put_program("proxy_backend", workloads::proxy_backend_source());
+    auto pid = h.sys.spawn("proxy_frontend", {"proxy_frontend", "12",
+                                              "32"});
+    EXPECT_TRUE(pid.ok());
+    h.sys.run(/*allow_idle=*/true);
+    EXPECT_EQ(h.drive(3, 12), 12);
+    h.sys.run(/*allow_idle=*/true);
+    auto code = h.sys.exit_code(pid.value());
+    EXPECT_TRUE(code.ok() && code.value() == 0);
+    EXPECT_TRUE(h.sys.all_exited());
+    return {h.sys.death_order(), h.clock.cycles()};
+}
+
+TEST(EpollWorkload, ProxyIsDeterministicAtEveryCoreCount)
+{
+    // The SMP scheduler must stay a pure function of the workload:
+    // for each core count, two fresh runs of the full proxy scenario
+    // (network arrivals, stealing, cross-core wakeups and all) agree
+    // on the SIP completion order *and* the total simulated cycles.
+    for (int cores : {1, 2, 4}) {
+        auto first = run_proxy_at(cores);
+        auto second = run_proxy_at(cores);
+        EXPECT_EQ(first.first, second.first) << "cores=" << cores;
+        EXPECT_EQ(first.second, second.second) << "cores=" << cores;
+        // Frontend (pid 1) outlives the 4 backends it reaps.
+        ASSERT_EQ(first.first.size(), 5u) << "cores=" << cores;
+        EXPECT_EQ(first.first.back(), 1) << "cores=" << cores;
+    }
+    // And cores=1 reproduces the pre-SMP kernel exactly: the backends
+    // die in spawn order (the frontend shuts its job pipes down in
+    // order), as recorded from the seed scheduler.
+    auto uni = run_proxy_at(1);
+    EXPECT_EQ(uni.first, (std::vector<int>{2, 3, 4, 5, 1}));
+}
+
 TEST(EpollWorkload, ReverseProxyServesThroughBackendPool)
 {
     // The flagship multi-process scenario: an epoll frontend fans

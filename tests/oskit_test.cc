@@ -1114,5 +1114,353 @@ TEST(Regression, EpollWaitAcrossPageHoleKeepsEdgeState)
     ASSERT_TRUE(r && *r == 0);
 }
 
+// ---- fd lifecycle under dup2 (PR 9 bugfix sweep) ----------------------
+
+TEST(Regression, Dup2ImplicitCloseDropsEpollInterest)
+{
+    // dup2 over a watched descriptor is an implicit close: the old
+    // registration must leave the interest list, exactly as kClose's
+    // auto-removal would. Before the fix the stale entry (a) kept
+    // reporting events for the *old* file and (b) made re-ADDing the
+    // descriptor fail with a phantom EEXIST.
+    KernelHarness h;
+    EXPECT_EQ(h.run(R"(
+global byte b[4];
+func main() {
+    var fds[2];
+    var fds2[2];
+    var evs[8];
+    if (pipe(fds) != 0) { return 1; }     // 3, 4
+    if (pipe(fds2) != 0) { return 2; }    // 5, 6
+    var ep = epoll_create();              // 7
+    if (ep != 7) { return 3; }
+    if (epoll_ctl(ep, 1, fds[0], 0x1) != 0) { return 4; }
+    // Keep the first pipe's read end alive elsewhere so writing to
+    // it stays legal after fd 3 is clobbered.
+    if (dup2(fds[0], 8) != 8) { return 9; }
+    // Replace the watched descriptor with the other pipe's read end.
+    if (dup2(fds2[0], fds[0]) != fds[0]) { return 5; }
+    // Data on the *old* pipe object must no longer reach the epoll.
+    if (write(fds[1], b, 1) != 1) { return 6; }
+    if (epoll_wait(ep, evs, 4, 0) != 0) { return 7; }
+    // And the slot must be re-addable (no phantom EEXIST).
+    if (epoll_ctl(ep, 1, fds[0], 0x1) != 0) { return 8; }
+    return 0;
+}
+)"),
+              0);
+}
+
+TEST(Regression, Dup2OverLastEpollFdDropsRosterEntry)
+{
+    // dup2 over the *only* descriptor of an epoll object destroys the
+    // object; the process's epoll roster must drop it too. Before the
+    // fix the roster kept a dangling pointer and the next close()
+    // walked it — a use-after-free the ASan tier-1 leg catches.
+    KernelHarness h;
+    EXPECT_EQ(h.run(R"(
+func main() {
+    var fds[2];
+    if (pipe(fds) != 0) { return 1; }     // 3, 4
+    var ep = epoll_create();              // 5
+    if (epoll_ctl(ep, 1, fds[0], 0x1) != 0) { return 2; }
+    if (dup2(fds[0], ep) != ep) { return 3; }
+    // Any close now walks the epoll roster.
+    if (close(fds[0]) != 0) { return 4; }
+    if (close(ep) != 0) { return 5; }
+    return 0;
+}
+)"),
+              0);
+}
+
+TEST(Syscalls, LowestFreeFdSurvivesChurn)
+{
+    // POSIX lowest-free allocation across every lifecycle path that
+    // can open a hole: close-in-the-middle, close-at-the-bottom,
+    // dup2 (which must NOT open a hole — the slot is reoccupied
+    // atomically), and pipe's double allocation.
+    KernelHarness h;
+    h.files.put("/f.txt", Bytes{});
+    EXPECT_EQ(h.run(R"(
+global byte p[12] = "/f.txt";
+func main() {
+    var a = open(p, 0);
+    var b2 = open(p, 0);
+    var c = open(p, 0);
+    var d = open(p, 0);
+    if (a != 3) { return 1; }
+    if (d != 6) { return 2; }
+    close(c);                            // hole at 5
+    close(a);                            // hole at 3: hint rewinds
+    if (open(p, 0) != 3) { return 3; }   // lowest hole first
+    if (open(p, 0) != 5) { return 4; }   // then the next one up
+    if (dup2(b2, 9) != 9) { return 5; }  // no hole: 9 becomes busy
+    close(b2);                           // hole at 4
+    if (open(p, 0) != 4) { return 6; }
+    var fds[2];
+    if (pipe(fds) != 0) { return 7; }
+    if (fds[0] != 7) { return 8; }       // dense run continues
+    if (fds[1] != 8) { return 9; }
+    close(9);
+    if (open(p, 0) != 9) { return 10; }
+    return 0;
+}
+)"),
+              0);
+}
+
+// ---- timer-heap compaction (PR 9 bugfix sweep) ------------------------
+
+TEST(Timers, PollRearmCancelLoopKeepsHeapBounded)
+{
+    // A poll() with a far deadline that is woken early by data leaves
+    // its (when, pid) entry dead in the heap: it is far in the
+    // future, so lazy top-pruning never reaches it. Re-armed in a
+    // loop, the heap grew by one entry per iteration (~1500 here)
+    // until compaction was added; now stale entries are swept once
+    // they are numerous and the majority.
+    KernelHarness h;
+    auto child = toolchain::compile(R"(
+global byte b[4];
+func main() {
+    var i = 0;
+    while (i < 1500) {
+        if (read(0, b, 1) != 1) { return 1; }
+        if (write(1, b, 1) != 1) { return 2; }
+        i = i + 1;
+    }
+    return 0;
+}
+)");
+    ASSERT_TRUE(child.ok());
+    h.files.put("echo", child.value().image.serialize());
+    auto out = toolchain::compile(R"(
+global byte child[8] = "echo";
+global byte b[4];
+func main() {
+    var req[2];
+    var resp[2];
+    if (pipe(req) != 0) { return 1; }    // 3, 4
+    if (pipe(resp) != 0) { return 2; }   // 5, 6
+    var argvv[1];
+    argvv[0] = child;
+    var io3[3];
+    io3[0] = req[0];    // child stdin: request pipe read end
+    io3[1] = resp[1];   // child stdout: response pipe write end
+    io3[2] = 2;
+    var cpid = spawn_io(child, argvv, 1, io3);
+    if (cpid < 0) { return 3; }
+    close(req[0]);
+    close(resp[1]);
+    var pfd[3];
+    var t = 1000000000;
+    t = t * 1000;       // 1000 s: the deadline never comes due
+    var i = 0;
+    while (i < 1500) {
+        if (write(req[1], b, 1) != 1) { return 4; }
+        pfd[0] = resp[0];
+        pfd[1] = 0x1;
+        pfd[2] = 0;
+        if (poll(pfd, 1, t) != 1) { return 5; }
+        if (read(resp[0], b, 1) != 1) { return 6; }
+        i = i + 1;
+    }
+    close(req[1]);
+    return waitpid(cpid);
+}
+)");
+    ASSERT_TRUE(out.ok());
+    h.files.put("prog", out.value().image.serialize());
+    auto pid = h.sys.spawn("prog", {"prog"});
+    ASSERT_TRUE(pid.ok());
+    h.sys.run();
+    auto code = h.sys.exit_code(pid.value());
+    ASSERT_TRUE(code.ok());
+    EXPECT_EQ(code.value(), 0);
+    // Seed behaviour: ~1500 dead entries left behind. With
+    // compaction the heap stays within a small constant of the live
+    // count (threshold 64, majority rule).
+    EXPECT_LT(h.sys.timer_entries(), 512u);
+}
+
+// ---- SMP scheduling (PR 9 tentpole) -----------------------------------
+
+namespace smp {
+
+/** Counter snapshot helper (the registry is process-global). */
+uint64_t
+ctr(const std::string &name)
+{
+    return trace::Registry::instance().counter(name).value();
+}
+
+constexpr const char *kStormParent = R"(
+global byte child[8] = "kid";
+func main() {
+    var argvv[1];
+    var pids[24];
+    argvv[0] = child;
+    var i = 0;
+    while (i < 24) {
+        pids[i] = spawn(child, argvv, 1);
+        if (pids[i] < 0) { return 1; }
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 24) {
+        if (waitpid(pids[i]) != 7) { return 2; }
+        i = i + 1;
+    }
+    return 0;
+}
+)";
+
+constexpr const char *kStormChild = R"(
+func main() {
+    var i = 0;
+    while (i < 3000) { i = i + 1; }
+    return 7;
+}
+)";
+
+/** Run the spawn storm at `cores`; returns (death order, cycles). */
+std::pair<std::vector<int>, uint64_t>
+run_storm(int cores)
+{
+    KernelHarness h;
+    h.sys.set_cores(cores);
+    auto kid = toolchain::compile(kStormChild);
+    EXPECT_TRUE(kid.ok());
+    h.files.put("kid", kid.value().image.serialize());
+    EXPECT_EQ(h.run(kStormParent), 0);
+    EXPECT_TRUE(h.sys.all_exited());
+    return {h.sys.death_order(), h.clock.cycles()};
+}
+
+} // namespace smp
+
+TEST(Smp, SpawnStormCompletesDeterministicallyAcrossCores)
+{
+    // 24 children spawned back-to-back (a spawn storm: many pids
+    // enter the walk mid-round) must all run, complete, and be
+    // reaped at every core count — and the completion order must be
+    // a pure function of the core count: two identical runs agree
+    // exactly, including total simulated cycles.
+    for (int cores : {1, 2, 4}) {
+        auto first = smp::run_storm(cores);
+        auto second = smp::run_storm(cores);
+        EXPECT_EQ(first.first, second.first) << "cores=" << cores;
+        EXPECT_EQ(first.second, second.second) << "cores=" << cores;
+        EXPECT_EQ(first.first.size(), 25u) << "cores=" << cores;
+    }
+    // More cores must not be slower on a 24-wide parallel workload.
+    EXPECT_LT(smp::run_storm(4).second, smp::run_storm(1).second);
+}
+
+TEST(Smp, IdleCoresStealFromLoadedCoreAndFinishSooner)
+{
+    // Two long jobs whose pids collide on one home core (2 and 6,
+    // both pid % 4 == 2) with three instant-exit spacers between
+    // them. Once the spacers die, core 2 owns both long jobs: an
+    // idle core must steal the lowest pid from it (the most-loaded
+    // queue) and the pair must finish in roughly half the unicore
+    // time.
+    auto run_once = [](int cores, uint64_t &cycles) {
+        KernelHarness h;
+        h.sys.set_cores(cores);
+        auto lng = toolchain::compile(R"(
+func main() {
+    var i = 0;
+    while (i < 300000) { i = i + 1; }
+    return 5;
+}
+)");
+        auto quick = toolchain::compile("func main() { return 6; }");
+        ASSERT_TRUE(lng.ok());
+        ASSERT_TRUE(quick.ok());
+        h.files.put("long", lng.value().image.serialize());
+        h.files.put("quick", quick.value().image.serialize());
+        EXPECT_EQ(h.run(R"(
+global byte lng[8] = "long";
+global byte qck[8] = "quick";
+func main() {
+    var argvv[1];
+    argvv[0] = lng;
+    var a = spawn(lng, argvv, 1);     // pid 2 (home 2 at 4 cores)
+    argvv[0] = qck;
+    var s1 = spawn(qck, argvv, 1);    // pid 3
+    var s2 = spawn(qck, argvv, 1);    // pid 4
+    var s3 = spawn(qck, argvv, 1);    // pid 5
+    argvv[0] = lng;
+    var b2 = spawn(lng, argvv, 1);    // pid 6 (home 2 at 4 cores)
+    if (waitpid(a) != 5) { return 1; }
+    if (waitpid(b2) != 5) { return 2; }
+    if (waitpid(s1) != 6) { return 3; }
+    if (waitpid(s2) != 6) { return 4; }
+    if (waitpid(s3) != 6) { return 5; }
+    return 0;
+}
+)"),
+                  0);
+        cycles = h.clock.cycles();
+    };
+    uint64_t steals_before = smp::ctr("kernel.core0.steals");
+    uint64_t uni_cycles = 0;
+    uint64_t smp_cycles = 0;
+    run_once(1, uni_cycles);
+    run_once(4, smp_cycles);
+    // The idle core 0 stole pid 2 from core 2's two-deep queue.
+    EXPECT_GT(smp::ctr("kernel.core0.steals"), steals_before);
+    // Both long jobs overlap in simulated time: real speedup.
+    EXPECT_LT(smp_cycles, uni_cycles * 3 / 4);
+}
+
+TEST(Smp, CrossCoreWakeupLandsOnHomeCoreQueue)
+{
+    // A SIP homed on core 0 (pid 2 at 2 cores) blocks reading a
+    // pipe; the writer is homed on core 1 (pid 1). The wake must
+    // land on the *reader's* home queue — counted by the per-core
+    // wakeup metric — and the reader must complete.
+    uint64_t wakeups_before = smp::ctr("kernel.core0.wakeups");
+    KernelHarness h;
+    h.sys.set_cores(2);
+    auto child = toolchain::compile(R"(
+global byte b[4];
+func main() {
+    if (read(0, b, 1) != 1) { return 1; }
+    return 9;
+}
+)");
+    ASSERT_TRUE(child.ok());
+    h.files.put("rdr", child.value().image.serialize());
+    EXPECT_EQ(h.run(R"(
+global byte child[8] = "rdr";
+global byte b[4];
+func main() {
+    var fds[2];
+    if (pipe(fds) != 0) { return 1; }
+    var argvv[1];
+    argvv[0] = child;
+    var io3[3];
+    io3[0] = fds[0];
+    io3[1] = 1;
+    io3[2] = 2;
+    var cpid = spawn_io(child, argvv, 1, io3);
+    if (cpid < 0) { return 2; }
+    close(fds[0]);
+    // Let the reader park first (it blocks on the empty pipe), then
+    // wake it from the other core.
+    var i = 0;
+    while (i < 60000) { i = i + 1; }
+    if (write(fds[1], b, 1) != 1) { return 3; }
+    if (waitpid(cpid) != 9) { return 4; }
+    return 0;
+}
+)"),
+              0);
+    EXPECT_GT(smp::ctr("kernel.core0.wakeups"), wakeups_before);
+}
+
 } // namespace
 } // namespace occlum::oskit
