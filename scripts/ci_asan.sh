@@ -37,3 +37,10 @@ OCCLUM_VM_SUPERBLOCK=1 "$BUILD_DIR/tests/vm_test"
 OCCLUM_CORES=4 "$BUILD_DIR/tests/libos_test"
 OCCLUM_CORES=4 "$BUILD_DIR/tests/epoll_test"
 "$BUILD_DIR/tests/oskit_test" --gtest_filter='Smp.*:Regression.*:Timers.*'
+
+# Extra leg: the transition-orderliness battery (DESIGN.md §9) under
+# the sanitizers with the monitor in strict mode — the AEX storms and
+# SmashEx-shaped refusal paths walk the SSA snapshot, scrub, and TCS
+# rebind code where a lifetime bug would hide, and any illegal
+# enclave transition panics instead of being counted.
+OCCLUM_ORDERLINESS=strict "$BUILD_DIR/tests/orderliness_test"

@@ -38,6 +38,13 @@
 #           must still wake a blocked kEpollWait, and the proxy's
 #           spawn + pipes + sockets pipeline must still serve every
 #           request.
+#   plan 7: a dense AEX storm with the transition-orderliness monitor
+#           in strict mode (DESIGN.md §9) — every EENTER, EEXIT, AEX,
+#           ERESUME, and per-core TCS rebind is checked online against
+#           the legal automaton and the first illegal transition
+#           panics with full context. The SmashEx-shaped hazards
+#           (nested entry or rebind on an occupied NSSA=1 SSA frame)
+#           must surface as refusals, never as serviced transitions.
 #
 # Plan 1 additionally runs under ASan+UBSan: an injected AEX touches
 # the SSA snapshot path on every quantum, the place a lifetime bug
@@ -56,6 +63,7 @@ PLANS=(
     "seed=404;net_drop=0.05;net_dup=0.05;aex_every=2048"
     "seed=505;net_drop=0.08;net_dup=0.08;net_short_read=0.25;aex_every=2048"
     "seed=606;net_drop=0.05;net_dup=0.05;net_short_read=0.25;aex_every=2048"
+    "seed=777;aex_every=768"
 )
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
@@ -66,6 +74,12 @@ for plan in "${PLANS[@]}"; do
     OCCLUM_FAULT_PLAN="$plan" \
         ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 done
+
+# Plan 7 again with the orderliness monitor in strict mode: one
+# illegal enclave transition anywhere in tier-1 aborts the run.
+echo "=== tier-1 under OCCLUM_FAULT_PLAN='${PLANS[6]}' + OCCLUM_ORDERLINESS=strict ==="
+OCCLUM_FAULT_PLAN="${PLANS[6]}" OCCLUM_ORDERLINESS=strict \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
 
 # The AEX-storm plan again, under the sanitizers.
 ASAN_DIR="${BUILD_DIR}-asan-faults"

@@ -16,6 +16,12 @@
 #          own quanta, so every SSA save/scrub/restore happens on
 #          the core (and TCS) that was actually interrupted, while
 #          determinism is re-asserted run-to-run at cores {1,2,4}.
+#   leg 4: the same storms with the transition-orderliness monitor
+#          (DESIGN.md §9) in strict mode — an illegal EENTER / EEXIT /
+#          AEX / ERESUME / rebind sequence on any TCS panics with
+#          full context instead of being counted, so a scheduler
+#          regression that services a SmashEx-shaped transition
+#          cannot hide behind a green run.
 #
 # Usage: scripts/ci_smp.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -40,3 +46,9 @@ OCCLUM_FAULT_PLAN="seed=707;aex_every=2048" OCCLUM_CORES=4 \
 echo "=== AEX storm over the SMP batteries ==="
 OCCLUM_FAULT_PLAN="seed=707;aex_every=2048" \
     "$BUILD_DIR/tests/oskit_test" --gtest_filter='Smp.*'
+
+echo "=== monitor-strict: storms + orderliness battery ==="
+OCCLUM_ORDERLINESS=strict OCCLUM_FAULT_PLAN="seed=707;aex_every=2048" \
+    OCCLUM_CORES=4 "$BUILD_DIR/tests/epoll_test" \
+    --gtest_filter='EpollWorkload.*'
+OCCLUM_ORDERLINESS=strict "$BUILD_DIR/tests/orderliness_test"

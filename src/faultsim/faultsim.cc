@@ -29,6 +29,7 @@ bool
 FaultPlan::any() const
 {
     return epc_fail > 0 || epc_fail_at > 0 || aex_every > 0 ||
+           aex_at > 0 ||
            dev_read_transient > 0 || dev_read_fail > 0 ||
            dev_write_transient > 0 || dev_write_fail > 0 ||
            dev_write_fail_at > 0 || torn_write > 0 || torn_write_at > 0 ||
@@ -80,6 +81,7 @@ set_field(FaultPlan &plan, const std::string &key,
     if (key == "epc_fail") return as_prob(plan.epc_fail);
     if (key == "epc_fail_at") return as_u64(plan.epc_fail_at);
     if (key == "aex_every") return as_u64(plan.aex_every);
+    if (key == "aex_at") return as_u64(plan.aex_at);
     if (key == "dev_read_transient")
         return as_prob(plan.dev_read_transient);
     if (key == "dev_read_fail") return as_prob(plan.dev_read_fail);
@@ -160,6 +162,7 @@ FaultSim::install(const FaultPlan &plan)
 {
     plan_ = plan;
     active_ = true;
+    aex_at_consumed_ = false;
     // Independent per-site streams: injections at one site never
     // perturb another site's sequence, so e.g. adding disk faults to
     // a plan leaves its network fault schedule unchanged.
@@ -174,6 +177,7 @@ void
 FaultSim::clear()
 {
     active_ = false;
+    aex_at_consumed_ = false;
 }
 
 bool

@@ -78,6 +78,13 @@ struct FaultPlan {
     uint64_t epc_fail_at = 0;
     /** Inject an AEX every N user instructions (0 = off). */
     uint64_t aex_every = 0;
+    /**
+     * One-shot: inject a single AEX after N user instructions (0 =
+     * off), the bisection knob for "an AEX at exactly this ordinal
+     * breaks the run". Composable with aex_every: once the one-shot
+     * fires the periodic storm (if any) takes over.
+     */
+    uint64_t aex_at = 0;
 
     // ---- Block device -------------------------------------------------
     double dev_read_transient = 0.0;  // EAGAIN-shaped, retryable
@@ -135,6 +142,22 @@ class FaultSim
     /** Disarm: checks become no-ops again (counters keep values). */
     void clear();
 
+    /**
+     * Re-arm the installed plan from its seed: every site stream and
+     * counter restarts exactly as if the plan had just been
+     * installed. Tests that assert run-to-run determinism under an
+     * ambient OCCLUM_FAULT_PLAN call this before each run so both
+     * runs replay the identical fault schedule instead of consuming
+     * one shared stream. No-op when no plan is active.
+     */
+    void
+    reseed()
+    {
+        if (active_) {
+            install(plan_);
+        }
+    }
+
     bool active() const { return active_; }
     const FaultPlan &plan() const { return plan_; }
 
@@ -142,11 +165,30 @@ class FaultSim
     /** EADD path: true = this EPC reservation fails with kNoMem. */
     bool epc_reserve_fails();
 
-    /** Scheduler: instructions between injected AEXes (0 = off). */
+    /** Scheduler: instructions until the next injected AEX (0 = off).
+     *  While the aex_at one-shot is pending it takes precedence; after
+     *  it fires the period falls back to aex_every. */
     uint64_t
     aex_period() const
     {
-        return active_ ? plan_.aex_every : 0;
+        if (!active_) {
+            return 0;
+        }
+        if (plan_.aex_at > 0 && !aex_at_consumed_) {
+            return plan_.aex_at;
+        }
+        return plan_.aex_every;
+    }
+    /** Scheduler: an injection point was reached — consume a pending
+     *  aex_at one-shot (called whether or not the system serviced the
+     *  AEX; the Linux baseline's hook is a no-op but the ordinal has
+     *  still passed). */
+    void
+    mark_injected_aex()
+    {
+        if (active_ && plan_.aex_at > 0) {
+            aex_at_consumed_ = true;
+        }
     }
     /** Bump the AEX fire counter (the scheduler injects, we count). */
     void count_injected_aex();
@@ -186,6 +228,8 @@ class FaultSim
 
     FaultPlan plan_;
     bool active_ = false;
+    /** The aex_at one-shot already fired this plan. */
+    bool aex_at_consumed_ = false;
     std::array<Rng, kSiteCount> rngs_;
     std::array<uint64_t, kSiteCount> checks_{};
     std::array<uint64_t, kSiteCount> fires_{};

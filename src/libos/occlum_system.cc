@@ -430,11 +430,20 @@ OcclumSystem::on_injected_aex(oskit::Process &proc)
     // AEX-storm transparency tests catch it. One TCS (one SSA frame)
     // exists per simulated core; an AEX storm hits each core's
     // stream independently.
+    // Stamp the pid/core context so the orderliness monitor's records
+    // (and any violation it flags) carry the scheduling context of
+    // the injection, not just the raw transition.
+    sgx::ScopedMonitorContext ctx(proc.pid, current_core());
     auto &thread = core_threads_[static_cast<size_t>(current_core())];
     if (!thread) {
         thread = std::make_unique<sgx::SgxThread>(*enclave_, *proc.cpu);
-    } else {
-        thread->bind(*proc.cpu);
+    } else if (!thread->try_bind(*proc.cpu)) {
+        // SSA frame occupied: the monitor recorded the refused rebind.
+        // Unreachable in the current round-trip discipline (every
+        // serviced AEX resumes before the hook returns), but an
+        // adversarial schedule must degrade to a skipped injection,
+        // not a kernel crash.
+        return;
     }
     if (!thread->try_aex()) {
         return; // already in an AEX (NSSA=1) — cannot nest

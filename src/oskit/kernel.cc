@@ -625,10 +625,25 @@ Kernel::run_user_quantum(Process &proc)
         countdown -= std::min(countdown, ran);
         if (countdown == 0) {
             on_injected_aex(proc);
-            countdown = period;
+            // Consume a pending aex_at one-shot (the ordinal has
+            // passed even when on_injected_aex is a no-op, as in the
+            // Linux baseline) and re-read the period: after the
+            // one-shot the periodic storm (if any) takes over.
+            faultsim::FaultSim::instance().mark_injected_aex();
+            period = faultsim::FaultSim::instance().aex_period();
             if (proc.state == ProcState::kDead) {
                 return exit;
             }
+            if (period == 0) {
+                // One-shot consumed, no storm behind it: finish the
+                // quantum unsliced.
+                if (exit.kind != vm::ExitKind::kInstrBudget ||
+                    budget == 0) {
+                    return exit;
+                }
+                return proc.cpu->run(budget);
+            }
+            countdown = period;
         }
         if (exit.kind != vm::ExitKind::kInstrBudget || budget == 0) {
             return exit;
@@ -856,6 +871,18 @@ Kernel::smp_drain_wake_pending(int core, int cap)
         Process &proc = *it->second;
         if (proc.state != ProcState::kBlocked || !proc.wake_pending) {
             continue; // state changed under an earlier retry
+        }
+        if (proc.ran_round == round_seq_) {
+            // Stolen-then-woken hazard: an idle core stole this SIP
+            // earlier in the round, its quantum blocked in a syscall,
+            // and a later core's quantum woke it. Retrying now would
+            // complete the syscall on the home core's timeline —
+            // which rewound to the round start — so the SIP would
+            // effectively run twice in one round, overlapping its own
+            // stolen quantum in simulated time. Keep wake_pending set
+            // and retry next round instead.
+            ctr_deferred_retries_->add();
+            continue;
         }
         proc.wake_pending = false;
         ctr_sched_visits_->add();

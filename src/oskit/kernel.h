@@ -209,6 +209,8 @@ class Kernel
               &trace::Registry::instance().counter("kernel.wakeups")),
           ctr_wasted_retries_(&trace::Registry::instance().counter(
               "kernel.wasted_retries")),
+          ctr_deferred_retries_(&trace::Registry::instance().counter(
+              "kernel.deferred_retries")),
           ctr_poll_calls_(&trace::Registry::instance().counter(
               "kernel.poll_calls")),
           ctr_sched_visits_(&trace::Registry::instance().counter(
@@ -481,6 +483,9 @@ class Kernel
     trace::Histogram *hist_syscall_cycles_;
     trace::Counter *ctr_wakeups_;
     trace::Counter *ctr_wasted_retries_;
+    /** Wake-pending retries pushed to the next round because the SIP
+     *  already ran a (stolen) quantum this round. */
+    trace::Counter *ctr_deferred_retries_;
     trace::Counter *ctr_poll_calls_;
     trace::Counter *ctr_sched_visits_;
     trace::Counter *ctr_epoll_waits_;

@@ -307,6 +307,112 @@ Enclave::verify_report(const Platform &platform, const Report &report)
     return crypto::digest_equal(expect, report.mac);
 }
 
+// ---- SgxThread ------------------------------------------------------
+
+SgxThread::SgxThread(Enclave &enclave)
+    : enclave_(&enclave),
+      owned_cpu_(std::make_unique<vm::Cpu>(enclave.mem())),
+      cpu_(owned_cpu_.get()),
+      tcs_id_(TransitionMonitor::instance().register_tcs(TcsPhase::kInside))
+{}
+
+SgxThread::SgxThread(Enclave &enclave, vm::Cpu &cpu)
+    : enclave_(&enclave), cpu_(&cpu),
+      tcs_id_(TransitionMonitor::instance().register_tcs(TcsPhase::kInside))
+{}
+
+void
+SgxThread::record(Transition event)
+{
+    TransitionMonitor::instance().record(
+        tcs_id_, event, enclave_->platform().clock().cycles());
+}
+
+Status
+SgxThread::enter()
+{
+    if (phase_ == TcsPhase::kAexed) {
+        // The SmashEx shape: re-entry while the single SSA frame
+        // (NSSA=1) still holds the interrupted context. Refused with
+        // an error, never silently serviced.
+        record(Transition::kEenterRefused);
+        return Status(ErrorCode::kBusy,
+                      "EENTER refused: SSA frame occupied (NSSA=1)");
+    }
+    if (phase_ == TcsPhase::kInside) {
+        record(Transition::kEenterRefused);
+        return Status(ErrorCode::kBusy, "EENTER refused: TCS busy");
+    }
+    phase_ = TcsPhase::kInside;
+    record(Transition::kEenter);
+    enclave_->charge_eenter();
+    return Status();
+}
+
+Status
+SgxThread::leave()
+{
+    if (phase_ != TcsPhase::kInside) {
+        record(Transition::kEexitRefused);
+        return Status(ErrorCode::kInval,
+                      "EEXIT refused: not executing inside the enclave");
+    }
+    phase_ = TcsPhase::kOutside;
+    record(Transition::kEexit);
+    enclave_->charge_eexit();
+    return Status();
+}
+
+bool
+SgxThread::try_bind(vm::Cpu &cpu)
+{
+    if (phase_ == TcsPhase::kAexed) {
+        record(Transition::kBindRefused);
+        return false;
+    }
+    cpu_ = &cpu;
+    record(Transition::kBind);
+    return true;
+}
+
+bool
+SgxThread::try_aex()
+{
+    if (phase_ != TcsPhase::kInside) {
+        record(Transition::kAexRefused);
+        return false;
+    }
+    ssa_ = cpu_->state();
+    vm::CpuState scrubbed = ssa_;
+    for (size_t i = 0; i < scrubbed.regs.size(); ++i) {
+        scrubbed.regs[i] = 0xae00ae00ae00ae00ull + i;
+    }
+    for (auto &bnd : scrubbed.bnds) {
+        bnd = vm::BoundReg{};
+    }
+    scrubbed.flags = vm::Flags{};
+    scrubbed.rip = 0;
+    cpu_->set_state(scrubbed);
+    phase_ = TcsPhase::kAexed;
+    record(Transition::kAex);
+    enclave_->charge_aex();
+    return true;
+}
+
+bool
+SgxThread::try_resume()
+{
+    if (phase_ != TcsPhase::kAexed) {
+        record(Transition::kEresumeRefused);
+        return false;
+    }
+    cpu_->set_state(ssa_);
+    phase_ = TcsPhase::kInside;
+    record(Transition::kEresume);
+    enclave_->charge_eenter();
+    return true;
+}
+
 crypto::Sha256Digest
 Enclave::derive_platform_key(const Bytes &label) const
 {

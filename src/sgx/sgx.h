@@ -35,6 +35,7 @@
 #include "base/sim_clock.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "sgx/monitor.h"
 #include "vm/address_space.h"
 #include "vm/cpu.h"
 
@@ -164,6 +165,9 @@ class Enclave
     /** The enclave's (single) address space, shared by all its threads. */
     vm::AddressSpace &mem() { return mem_; }
 
+    /** The platform this enclave was created on. */
+    Platform &platform() const { return *platform_; }
+
     /**
      * SGX 1.0 restriction: these fail with EPERM after init().
      * The LibOS uses them during loading (pre-init) only.
@@ -236,35 +240,54 @@ class Enclave
  * to save state, so real hardware would overwrite the frame and
  * corrupt the interrupted context. try_aex() therefore *rejects*
  * nested injection; aex() treats it as a hard programming error.
+ * The same rule refuses EENTER while the frame is occupied — the
+ * SmashEx re-entry shape — and refuses bind/rebind mid-AEX.
+ *
+ * Every transition (serviced or refused) is reported to the
+ * TransitionMonitor, which checks it against the legal automaton
+ * (see monitor.h) with the platform clock's cycle as context.
  */
 class SgxThread
 {
   public:
-    explicit SgxThread(Enclave &enclave)
-        : enclave_(&enclave),
-          owned_cpu_(std::make_unique<vm::Cpu>(enclave.mem())),
-          cpu_(owned_cpu_.get())
-    {}
+    explicit SgxThread(Enclave &enclave);
+    SgxThread(Enclave &enclave, vm::Cpu &cpu);
 
-    SgxThread(Enclave &enclave, vm::Cpu &cpu)
-        : enclave_(&enclave), cpu_(&cpu)
-    {}
+    SgxThread(const SgxThread &) = delete;
+    SgxThread &operator=(const SgxThread &) = delete;
 
     vm::Cpu &cpu() { return *cpu_; }
     Enclave &enclave() { return *enclave_; }
 
     /**
+     * EENTER: take the TCS from host side into the enclave. Refused
+     * with EBUSY while the TCS is busy (kInside) or — the SmashEx
+     * rule — while the single SSA frame is occupied (kAexed): with
+     * NSSA=1 there is no frame left to take an exception in, so
+     * hardware faults the entry instead of servicing it.
+     */
+    Status enter();
+
+    /** EEXIT: leave the enclave. Refused unless executing inside. */
+    Status leave();
+
+    /**
      * Re-point a bound-CPU TCS at another logical processor's state.
      * The SMP kernel keeps one TCS (one SSA frame) per simulated
      * core and rebinds it to whichever SIP's CPU that core is
-     * executing when an AEX lands. Illegal mid-AEX: the SSA frame
-     * holds the interrupted state until ERESUME.
+     * executing when an AEX lands. Refused mid-AEX: the SSA frame
+     * holds the interrupted state until ERESUME, and a rebind would
+     * orphan it. Returns false (and records the refusal) instead of
+     * crashing, so an adversarial injection schedule degrades to a
+     * skipped event rather than taking the kernel down.
      */
+    bool try_bind(vm::Cpu &cpu);
+
+    /** try_bind() that treats a refused rebind as a programming error. */
     void
     bind(vm::Cpu &cpu)
     {
-        OCC_CHECK_MSG(!in_aex_, "rebind with an occupied SSA frame");
-        cpu_ = &cpu;
+        OCC_CHECK_MSG(try_bind(cpu), "rebind with an occupied SSA frame");
     }
 
     /**
@@ -277,26 +300,7 @@ class SgxThread
      * Returns false (no state change, no charge) while already in
      * AEX: the single SSA frame is occupied.
      */
-    bool
-    try_aex()
-    {
-        if (in_aex_) {
-            return false;
-        }
-        ssa_ = cpu_->state();
-        vm::CpuState scrubbed = ssa_;
-        for (size_t i = 0; i < scrubbed.regs.size(); ++i) {
-            scrubbed.regs[i] = 0xae00ae00ae00ae00ull + i;
-        }
-        for (auto &bnd : scrubbed.bnds) {
-            bnd = vm::BoundReg{};
-        }
-        scrubbed.rip = 0;
-        cpu_->set_state(scrubbed);
-        in_aex_ = true;
-        enclave_->charge_aex();
-        return true;
-    }
+    bool try_aex();
 
     /** try_aex() that treats nested AEX as a programming error. */
     void
@@ -306,26 +310,35 @@ class SgxThread
                       "nested AEX: the TCS has one SSA frame (NSSA=1)");
     }
 
-    /** ERESUME: restore the SSA snapshot (bound registers included). */
+    /**
+     * ERESUME: restore the SSA snapshot (bound registers included).
+     * Returns false if no AEX is pending (nothing to restore).
+     */
+    bool try_resume();
+
+    /** try_resume() that treats a spurious resume as a programming error. */
     void
     resume()
     {
-        OCC_CHECK(in_aex_);
-        cpu_->set_state(ssa_);
-        in_aex_ = false;
-        enclave_->charge_eenter();
+        OCC_CHECK_MSG(try_resume(), "ERESUME with no occupied SSA frame");
     }
 
-    bool in_aex() const { return in_aex_; }
+    bool in_aex() const { return phase_ == TcsPhase::kAexed; }
+    TcsPhase phase() const { return phase_; }
     const vm::CpuState &ssa() const { return ssa_; }
+    int tcs_id() const { return tcs_id_; }
 
   private:
+    /** Report one transition to the monitor at the platform clock. */
+    void record(Transition event);
+
     Enclave *enclave_;
     /** Set only by the owning constructor. */
     std::unique_ptr<vm::Cpu> owned_cpu_;
     vm::Cpu *cpu_;
     vm::CpuState ssa_;
-    bool in_aex_ = false;
+    TcsPhase phase_ = TcsPhase::kInside;
+    int tcs_id_;
 };
 
 } // namespace occlum::sgx

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "baseline/linux_system.h"
+#include "faultsim/faultsim.h"
 #include "toolchain/minic.h"
 #include "trace/metrics.h"
 #include "workloads/workloads.h"
@@ -472,6 +473,10 @@ TEST(EpollWorkload, HttpdEpollServesRequests)
 std::pair<std::vector<int>, uint64_t>
 run_proxy_at(int cores)
 {
+    // Under an ambient OCCLUM_FAULT_PLAN (scripts/ci_faults.sh) the
+    // fault streams must restart per run, or the determinism check
+    // below would compare two different fault schedules.
+    faultsim::FaultSim::instance().reseed();
     NetHarness h;
     h.sys.set_cores(cores);
     h.put_program("proxy_frontend", workloads::proxy_frontend_source());

@@ -1462,5 +1462,129 @@ func main() {
     EXPECT_GT(smp::ctr("kernel.core0.wakeups"), wakeups_before);
 }
 
+namespace smp {
+
+/**
+ * The stolen-then-woken double-run shape, at `cores`. Returns
+ * (death order, cycles); the caller diffs kernel.deferred_retries.
+ *
+ * The choreography (4 cores): pid 3 ("rdr", home core 3) spins long
+ * enough for the spacer pids 2/4/5/6 to die, leaving core 0 idle
+ * while queue 3 stays two-deep (pid 7 keeps spinning) — so core 0
+ * steals pid 3 every round. When its spin drains, pid 3 writes one
+ * byte to the signal pipe (stdout) and next round blocks reading the
+ * empty data pipe (stdin) — during its *stolen* quantum on core 0,
+ * stamping ran_round. The orchestrator pid 1 (home core 1) parked on
+ * the signal pipe wakes, spins just past one quantum, and writes the
+ * data pipe — landing in exactly the round where pid 3 both ran
+ * (stolen) and blocked. Core 3's wake-pending drain then sees a SIP
+ * whose ran_round equals the current round: retrying would make it
+ * run twice in one round, so the retry must be deferred.
+ */
+std::pair<std::vector<int>, uint64_t>
+run_stolen_then_woken(int cores)
+{
+    KernelHarness h;
+    h.sys.set_cores(cores);
+    auto spacer = toolchain::compile("func main() { return 5; }");
+    auto reader = toolchain::compile(R"(
+global byte b[4];
+func main() {
+    var i = 0;
+    while (i < 120000) { i = i + 1; }
+    if (write(1, b, 1) != 1) { return 1; }
+    if (read(0, b, 1) != 1) { return 2; }
+    return 9;
+}
+)");
+    auto spinner = toolchain::compile(R"(
+func main() {
+    var i = 0;
+    while (i < 400000) { i = i + 1; }
+    return 7;
+}
+)");
+    EXPECT_TRUE(spacer.ok() && reader.ok() && spinner.ok());
+    h.files.put("spc", spacer.value().image.serialize());
+    h.files.put("rdr", reader.value().image.serialize());
+    h.files.put("spin", spinner.value().image.serialize());
+    EXPECT_EQ(h.run(R"(
+global byte spacer[8] = "spc";
+global byte reader[8] = "rdr";
+global byte spinner[8] = "spin";
+global byte b[4];
+func main() {
+    var sig[2];
+    var dat[2];
+    if (pipe(sig) != 0) { return 1; }
+    if (pipe(dat) != 0) { return 1; }
+    var argvv[1];
+    argvv[0] = spacer;
+    var p2 = spawn(spacer, argvv, 1);
+    var io3[3];
+    io3[0] = dat[0];
+    io3[1] = sig[1];
+    io3[2] = 2;
+    argvv[0] = reader;
+    var p3 = spawn_io(reader, argvv, 1, io3);
+    argvv[0] = spacer;
+    var p4 = spawn(spacer, argvv, 1);
+    var p5 = spawn(spacer, argvv, 1);
+    var p6 = spawn(spacer, argvv, 1);
+    argvv[0] = spinner;
+    var p7 = spawn(spinner, argvv, 1);
+    if (p2 < 0) { return 2; }
+    if (p3 < 0) { return 2; }
+    if (p4 < 0) { return 2; }
+    if (p5 < 0) { return 2; }
+    if (p6 < 0) { return 2; }
+    if (p7 < 0) { return 2; }
+    close(dat[0]);
+    close(sig[1]);
+    if (read(sig[0], b, 1) != 1) { return 3; }
+    var i = 0;
+    while (i < 4500) { i = i + 1; }
+    if (write(dat[1], b, 1) != 1) { return 4; }
+    if (waitpid(p3) != 9) { return 5; }
+    if (waitpid(p2) != 5) { return 6; }
+    if (waitpid(p4) != 5) { return 6; }
+    if (waitpid(p5) != 5) { return 6; }
+    if (waitpid(p6) != 5) { return 6; }
+    if (waitpid(p7) != 7) { return 7; }
+    return 0;
+}
+)"),
+              0);
+    EXPECT_TRUE(h.sys.all_exited());
+    return {h.sys.death_order(), h.clock.cycles()};
+}
+
+} // namespace smp
+
+TEST(Smp, StolenThenWokenSipRunsOnceAndRetryIsDeferred)
+{
+    // Regression for the stolen-then-woken double-run hazard: the
+    // wake-pending drain used to retry a SIP's blocked syscall on its
+    // home core even when the SIP had already run a stolen quantum
+    // this round — completing the syscall on a timeline that rewound
+    // to the round start, i.e. overlapping the SIP's own quantum in
+    // simulated time. The drain must defer such retries to the next
+    // round (counted by kernel.deferred_retries, which this scenario
+    // is engineered to hit), and the schedule must stay deterministic
+    // run to run at every swept core count.
+    uint64_t deferred0 = smp::ctr("kernel.deferred_retries");
+    for (int cores : {2, 4}) {
+        auto first = smp::run_stolen_then_woken(cores);
+        auto second = smp::run_stolen_then_woken(cores);
+        EXPECT_EQ(first.first, second.first)
+            << "death order must be deterministic at cores=" << cores;
+        EXPECT_EQ(first.second, second.second)
+            << "cycles must be deterministic at cores=" << cores;
+    }
+    // The 4-core choreography reaches the hazard (steal core 0 <
+    // waker core 1 < home core 3); the deferral path must have fired.
+    EXPECT_GT(smp::ctr("kernel.deferred_retries"), deferred0);
+}
+
 } // namespace
 } // namespace occlum::oskit

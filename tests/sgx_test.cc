@@ -243,6 +243,105 @@ TEST(SgxThread, AexScrubsLiveStateAndBindsExternalCpu)
     EXPECT_EQ(cpu.rip(), kBase + 16);
 }
 
+TEST(SgxThread, AexScrubsComparisonFlags)
+{
+    // Regression: the AEX scrub clobbered the registers, the bound
+    // registers, and the rip but left the comparison flags live — a
+    // host could read the zf/sf/cf/of of the enclave's last cmp (a
+    // secret-dependent branch condition) in the post-AEX state.
+    Platform platform;
+    Enclave enclave(platform, kBase, 1 << 20);
+    ASSERT_TRUE(
+        enclave.add_pages(kBase, vm::kPageSize, vm::kPermRX).ok());
+    ASSERT_TRUE(enclave.init().ok());
+
+    SgxThread thread(enclave);
+    vm::CpuState secret = thread.cpu().state();
+    secret.flags.zf = true;
+    secret.flags.sf = true;
+    secret.flags.cf = true;
+    secret.flags.of = true;
+    thread.cpu().set_state(secret);
+
+    ASSERT_TRUE(thread.try_aex());
+    const vm::Flags &host = thread.cpu().state().flags;
+    EXPECT_FALSE(host.zf);
+    EXPECT_FALSE(host.sf);
+    EXPECT_FALSE(host.cf);
+    EXPECT_FALSE(host.of);
+
+    // ERESUME restores the real flags from the SSA.
+    thread.resume();
+    const vm::Flags &restored = thread.cpu().state().flags;
+    EXPECT_TRUE(restored.zf);
+    EXPECT_TRUE(restored.sf);
+    EXPECT_TRUE(restored.cf);
+    EXPECT_TRUE(restored.of);
+}
+
+TEST(SgxThread, RebindRefusedWhileSsaFrameIsOccupied)
+{
+    // Regression: rebinding a TCS whose single SSA frame holds an
+    // interrupted context used to be a hard OCC_CHECK crash. It must
+    // instead be a refused transition the orderliness monitor records
+    // — an adversarial injection schedule degrades to a skipped
+    // event, not a downed kernel.
+    Platform platform;
+    Enclave enclave(platform, kBase, 1 << 20);
+    ASSERT_TRUE(
+        enclave.add_pages(kBase, vm::kPageSize, vm::kPermRX).ok());
+    ASSERT_TRUE(enclave.init().ok());
+
+    vm::Cpu first(enclave.mem());
+    vm::Cpu second(enclave.mem());
+    SgxThread thread(enclave, first);
+
+    auto &mon = TransitionMonitor::instance();
+    uint64_t refusals0 = mon.refusals();
+    uint64_t violations0 = mon.violations();
+
+    ASSERT_TRUE(thread.try_aex());
+    EXPECT_FALSE(thread.try_bind(second));
+    EXPECT_EQ(&thread.cpu(), &first); // binding unchanged
+    EXPECT_EQ(mon.refusals(), refusals0 + 1);
+
+    thread.resume();
+    EXPECT_TRUE(thread.try_bind(second));
+    EXPECT_EQ(&thread.cpu(), &second);
+    // Refusals are the defense working, never automaton violations.
+    EXPECT_EQ(mon.violations(), violations0);
+}
+
+TEST(SgxThread, EnterRefusedOnOccupiedSsaFrame)
+{
+    // The SmashEx rule: with NSSA=1 an EENTER while the SSA frame is
+    // occupied has no frame left to take an exception in, so it must
+    // fail with an error — never be silently serviced.
+    Platform platform;
+    Enclave enclave(platform, kBase, 1 << 20);
+    ASSERT_TRUE(
+        enclave.add_pages(kBase, vm::kPageSize, vm::kPermRX).ok());
+    ASSERT_TRUE(enclave.init().ok());
+
+    SgxThread thread(enclave); // constructed executing inside
+    thread.aex();
+    Status blocked = thread.enter();
+    ASSERT_FALSE(blocked.ok());
+    EXPECT_EQ(blocked.code(), ErrorCode::kBusy);
+
+    // Normal round trip once the frame drains: resume, leave, enter.
+    thread.resume();
+    ASSERT_TRUE(thread.leave().ok());
+    EXPECT_EQ(thread.phase(), TcsPhase::kOutside);
+    ASSERT_TRUE(thread.enter().ok());
+    EXPECT_EQ(thread.phase(), TcsPhase::kInside);
+
+    // And a busy TCS refuses a second entry even without an AEX.
+    Status busy = thread.enter();
+    ASSERT_FALSE(busy.ok());
+    EXPECT_EQ(busy.code(), ErrorCode::kBusy);
+}
+
 TEST(Attestation, ReportsVerifyOnSamePlatformOnly)
 {
     Platform platform;
